@@ -1,0 +1,65 @@
+// Command experiments regenerates the paper-reproduction tables E1–E12
+// (see DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// output).
+//
+// Examples:
+//
+//	experiments              # run everything at full scale
+//	experiments -quick       # reduced scale (seconds instead of minutes)
+//	experiments -id E1,E7    # selected experiments only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		quick = fs.Bool("quick", false, "reduced horizons and replica counts")
+		ids   = fs.String("id", "", "comma-separated experiment ids (default: all)")
+		seed  = fs.Uint64("seed", 1, "base RNG seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := exp.Config{Quick: *quick, Seed: *seed}
+
+	var selected []exp.Experiment
+	if *ids == "" {
+		selected = exp.All()
+	} else {
+		for _, id := range strings.Split(*ids, ",") {
+			e, err := exp.ByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			selected = append(selected, e)
+		}
+	}
+	for _, e := range selected {
+		start := time.Now()
+		table, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintf(out, "reproduces: %s\n", e.Artifact)
+		fmt.Fprint(out, table.Render())
+		fmt.Fprintf(out, "elapsed: %s\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSelectedQuick(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "-id", "E12,E5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"E12 —", "E5 —", "reproduces:", "elapsed:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "DISAGREE") {
+		t.Errorf("experiment disagreed with theory:\n%s", out)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-id", "E99"}, &b); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-bogus"}, &b); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

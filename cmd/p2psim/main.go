@@ -1,0 +1,120 @@
+// Command p2psim runs one sample path of the P2P swarm CTMC and prints a
+// sampled trace plus summary statistics, alongside the Theorem 1 verdict
+// for the same parameters.
+//
+// Example:
+//
+//	p2psim -k 3 -us 1 -mu 1 -gamma 2 -lambda0 2 -horizon 500 -policy rarest-first
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "p2psim:", err)
+		os.Exit(1)
+	}
+}
+
+func policyByName(name string) (sim.Policy, error) {
+	for _, p := range sim.AllPolicies() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown policy %q (have: random-useful, rarest-first, most-common-first, sequential-lowest)", name)
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("p2psim", flag.ContinueOnError)
+	var (
+		k        = fs.Int("k", 2, "number of pieces K")
+		us       = fs.Float64("us", 1, "fixed seed upload rate U_s")
+		mu       = fs.Float64("mu", 1, "peer contact rate µ")
+		gammaStr = fs.String("gamma", "2", "peer-seed departure rate γ (or 'inf')")
+		lambda0  = fs.Float64("lambda0", 1, "empty-type arrival rate (used when no -arrive flags)")
+		horizon  = fs.Float64("horizon", 200, "simulated time horizon")
+		cap      = fs.Int("cap", 100000, "stop when the population reaches this size")
+		seed     = fs.Uint64("seed", 1, "RNG seed")
+		polName  = fs.String("policy", "random-useful", "piece selection policy")
+		samples  = fs.Int("samples", 20, "number of trace samples to print")
+		csvOut   = fs.Bool("csv", false, "emit the trace as CSV instead of a table")
+		arrivals cli.ArrivalFlags
+	)
+	fs.Var(&arrivals, "arrive", "arrival spec PIECES=RATE (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	gamma, err := cli.ParseGamma(*gammaStr)
+	if err != nil {
+		return err
+	}
+	p, err := cli.BuildParams(*k, *us, *mu, gamma, *lambda0, &arrivals)
+	if err != nil {
+		return err
+	}
+	policy, err := policyByName(*polName)
+	if err != nil {
+		return err
+	}
+	sys, err := core.NewSystem(p)
+	if err != nil {
+		return err
+	}
+	sw, err := sys.NewSwarm(sim.WithSeed(*seed), sim.WithPolicy(policy))
+	if err != nil {
+		return err
+	}
+	interval := *horizon / float64(*samples)
+	trace, err := sw.Trace(*horizon, interval, sys.CriticalPiece(), *cap)
+	if err != nil {
+		return err
+	}
+	if *csvOut {
+		w := csv.NewWriter(out)
+		if err := w.Write([]string{"t", "n", "seeds", "one_club", "missing"}); err != nil {
+			return err
+		}
+		for _, pt := range trace {
+			rec := []string{
+				strconv.FormatFloat(pt.T, 'f', 4, 64),
+				strconv.Itoa(pt.N),
+				strconv.Itoa(pt.Seeds),
+				strconv.Itoa(pt.OneClub),
+				strconv.Itoa(pt.Missing),
+			}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+		w.Flush()
+		return w.Error()
+	}
+	fmt.Fprintf(out, "parameters : %s\n", p)
+	fmt.Fprintf(out, "theorem 1  : %s\n", sys.Verdict())
+	fmt.Fprintf(out, "policy     : %s\n\n", policy.Name())
+	fmt.Fprintf(out, "%10s %8s %8s %10s %10s\n", "t", "N", "seeds", "one-club", "missing")
+	for _, pt := range trace {
+		fmt.Fprintf(out, "%10.2f %8d %8d %10d %10d\n",
+			pt.T, pt.N, pt.Seeds, pt.OneClub, pt.Missing)
+	}
+	st := sw.Stats()
+	fmt.Fprintf(out, "\nfinal time      : %.2f\n", sw.Now())
+	fmt.Fprintf(out, "final population: %d\n", sw.N())
+	fmt.Fprintf(out, "mean population : %.3f\n", sw.MeanPeers())
+	fmt.Fprintf(out, "mean sojourn (Little): %.3f\n", sys.MeanSojournTime(sw.MeanPeers()))
+	fmt.Fprintf(out, "events: %d  arrivals: %d  departures: %d  uploads: %d  no-ops: %d\n",
+		st.Events, st.Arrivals, st.Departures, st.Uploads, st.NoOps)
+	return nil
+}

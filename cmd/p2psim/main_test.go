@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBasic(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-k", "2", "-horizon", "20", "-samples", "4", "-seed", "3"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"theorem 1", "final population", "mean population", "uploads"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAllPolicies(t *testing.T) {
+	for _, pol := range []string{"random-useful", "rarest-first", "most-common-first", "sequential-lowest"} {
+		var b strings.Builder
+		if err := run([]string{"-horizon", "10", "-policy", pol}, &b); err != nil {
+			t.Errorf("policy %s: %v", pol, err)
+		}
+		if !strings.Contains(b.String(), pol) {
+			t.Errorf("policy %s not echoed", pol)
+		}
+	}
+}
+
+func TestRunDeterministicAcrossSeeds(t *testing.T) {
+	var b1, b2 strings.Builder
+	args := []string{"-horizon", "15", "-seed", "9"}
+	if err := run(args, &b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("same seed produced different output")
+	}
+}
+
+func TestRunArrivalFlags(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{
+		"-k", "3", "-gamma", "inf", "-us", "0.5", "-horizon", "10",
+		"-arrive", "1=0.4", "-arrive", "2=0.4", "-arrive", "3=0.4",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-policy", "bogus"}, &b); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := run([]string{"-gamma", "x"}, &b); err == nil {
+		t.Error("bad gamma accepted")
+	}
+	if err := run([]string{"-mu", "0"}, &b); err == nil {
+		t.Error("zero mu accepted")
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-horizon", "10", "-samples", "5", "-csv"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "t,n,seeds,one_club,missing" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if len(lines) < 5 {
+		t.Errorf("csv too short: %d lines", len(lines))
+	}
+	for _, l := range lines[1:] {
+		if strings.Count(l, ",") != 4 {
+			t.Errorf("malformed csv row %q", l)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunStable(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-k", "1", "-us", "1", "-mu", "1", "-gamma", "2", "-lambda0", "1"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"positive-recurrent", "piece 1*", "margin"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTransientShowsGrowthRate(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-lambda0", "5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "transient") || !strings.Contains(out, "∆_{F−{1}}") {
+		t.Errorf("transient output incomplete:\n%s", out)
+	}
+}
+
+func TestRunGammaLeMuBranch(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-gamma", "0.5", "-lambda0", "100"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "γ ≤ µ") || !strings.Contains(out, "positive-recurrent") {
+		t.Errorf("γ ≤ µ output incomplete:\n%s", out)
+	}
+}
+
+func TestRunBlockedPiece(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-k", "2", "-us", "0", "-gamma", "0.5", "-arrive", "1=1"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "blocked") {
+		t.Errorf("blocked piece not reported:\n%s", b.String())
+	}
+}
+
+func TestRunGammaInfArrivals(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{
+		"-k", "4", "-mu", "1", "-gamma", "inf", "-us", "0",
+		"-arrive", "1,2=1", "-arrive", "3,4=0.6",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "positive-recurrent") {
+		t.Errorf("Example 2 stable point misclassified:\n%s", b.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-gamma", "bogus"}, &b); err == nil {
+		t.Error("bad gamma accepted")
+	}
+	if err := run([]string{"-k", "0"}, &b); err == nil {
+		t.Error("bad K accepted")
+	}
+	if err := run([]string{"-notaflag"}, &b); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunCriticalFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-lambda0", "1", "-critical"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "boundary") || !strings.Contains(out, "critical γ") {
+		t.Errorf("critical output incomplete:\n%s", out)
+	}
+	// λ0 = 1 at Us=1, µ=1, γ=2: the boundary sits at scale 2.
+	if !strings.Contains(out, "×2") {
+		t.Errorf("expected critical scale 2 in output:\n%s", out)
+	}
+}
+
+func TestRunCriticalAlwaysStable(t *testing.T) {
+	var b strings.Builder
+	// λ0 < U_s: stable even at γ = ∞.
+	if err := run([]string{"-lambda0", "0.5", "-critical"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "γ = ∞") {
+		t.Errorf("expected γ=∞ note:\n%s", b.String())
+	}
+}

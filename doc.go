@@ -1,0 +1,18 @@
+// Package repro is a full Go reproduction of Zhu & Hajek, "Stability of a
+// Peer-to-Peer Communication System" (PODC 2011; arXiv:1110.2753): the
+// stochastic model of an unstructured P2P swarm, the exact stability region
+// of Theorem 1 and its four extensions (general piece-selection policies,
+// network coding, fast recovery, and the µ = ∞ borderline process), an
+// event-driven CTMC simulator validated against an exact truncated-
+// generator solver, and the experiment harness E1–E12 that regenerates
+// every quantitative artifact in the paper.
+//
+// Start with internal/core (the System facade), or run:
+//
+//	go run ./cmd/stabilitycheck -k 1 -us 1 -mu 1 -gamma 2 -lambda0 1.5
+//	go run ./cmd/p2psim -k 3 -horizon 500
+//	go run ./cmd/experiments -quick
+//
+// See DESIGN.md for the architecture and the per-experiment index, and
+// EXPERIMENTS.md for recorded paper-vs-measured results.
+package repro

@@ -1,0 +1,73 @@
+// Flash crowd: the paper models the steady phase hours after a flash crowd.
+// This example shows the hand-off — a burst of 2000 empty peers arrives at
+// t = 0 on a fresh torrent, the swarm works the backlog down, and then
+// settles into the stationary regime whose stability Theorem 1 governs.
+// The drain is repeated under each piece-selection policy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/pieceset"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	params := model.Params{
+		K:     4,
+		Us:    2,
+		Mu:    1,
+		Gamma: 2,
+		Lambda: map[pieceset.Set]float64{
+			pieceset.Empty: 0.5, // steady trickle after the crowd
+		},
+	}
+	sys, err := core.NewSystem(params)
+	if err != nil {
+		return err
+	}
+	fmt.Println("parameters:", params)
+	fmt.Println("steady-state verdict (Theorem 1):", sys.Verdict())
+	fmt.Println("flash crowd: 2000 empty peers at t = 0")
+	fmt.Println()
+
+	const crowd = 2000
+	for _, policy := range sim.AllPolicies() {
+		swarm, err := sys.NewSwarm(
+			sim.WithSeed(11),
+			sim.WithPolicy(policy),
+			sim.WithInitialPeers(map[pieceset.Set]int{pieceset.Empty: crowd}),
+		)
+		if err != nil {
+			return err
+		}
+		// Drain time: first instant the backlog is within 2x of the steady
+		// state level (~single digits here).
+		var drained float64 = -1
+		for swarm.Now() < 3000 {
+			if err := swarm.Step(); err != nil {
+				return err
+			}
+			if drained < 0 && swarm.N() <= 20 {
+				drained = swarm.Now()
+			}
+		}
+		st := swarm.Stats()
+		fmt.Printf("%-18s drained to N≤20 at t=%7.1f | served %d peers | %d uploads (%.1f%% contact efficiency)\n",
+			policy.Name(), drained, st.Departures, st.Uploads,
+			100*float64(st.Uploads)/float64(st.Uploads+st.NoOps))
+	}
+	fmt.Println()
+	fmt.Println("all policies drain the crowd — Theorem 14 in action: usefulness, not")
+	fmt.Println("cleverness, determines the stability region (efficiency differs, though)")
+	return nil
+}

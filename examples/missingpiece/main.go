@@ -1,0 +1,72 @@
+// Missing-piece syndrome: start a transient system from a large one-club
+// (every peer holds all pieces except piece 1) and watch the population
+// grow linearly at the rate ∆_{F−{1}} predicted by the branching-process
+// analysis of Section VI.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/pieceset"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	params := model.Params{
+		K:     3,
+		Us:    1,
+		Mu:    1,
+		Gamma: 2,
+		Lambda: map[pieceset.Set]float64{
+			pieceset.Empty: 7, // above the threshold of 2: transient
+		},
+	}
+	sys, err := core.NewSystem(params)
+	if err != nil {
+		return err
+	}
+	fmt.Println("parameters:", params)
+	fmt.Println("Theorem 1 verdict:", sys.Verdict())
+	delta, err := sys.OneClubGrowthRate()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("predicted one-club growth rate ∆ = %.3f peers/unit time\n\n", delta)
+
+	oneClub := pieceset.Full(params.K).Without(1)
+	swarm, err := sys.NewSwarm(
+		sim.WithSeed(42),
+		sim.WithInitialPeers(map[pieceset.Set]int{oneClub: 500}),
+	)
+	if err != nil {
+		return err
+	}
+	trace, err := swarm.Trace(120, 6, 1, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%8s %8s %10s %10s\n", "t", "N", "one-club", "missing-1")
+	xs := make([]float64, len(trace))
+	ys := make([]float64, len(trace))
+	for i, pt := range trace {
+		xs[i], ys[i] = pt.T, float64(pt.N)
+		fmt.Printf("%8.1f %8d %10d %10d\n", pt.T, pt.N, pt.OneClub, pt.Missing)
+	}
+	_, slope, r2, err := dist.LinearFit(xs, ys)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nfitted dN/dt = %.3f (R² = %.3f) vs predicted ∆ = %.3f\n", slope, r2, delta)
+	fmt.Println("the one-club never shrinks: piece 1 stays rare — the missing piece syndrome")
+	return nil
+}

@@ -1,0 +1,219 @@
+// Package borderline implements the µ = ∞ embedded process of Section
+// VIII-D (Figure 3): the model watched on "slow" states, where all peers
+// share one type, in the symmetric single-piece-arrival network with
+// U_s = 0 and γ = ∞. The top layer (n, K−1) evolves as a zero-drift random
+// walk (E[Z] = K−1), which is the paper's evidence for null recurrence on
+// the stability borderline; this package simulates the chain and exposes
+// the diagnostics experiment E8 reports.
+package borderline
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// ErrBadParams reports invalid chain parameters.
+var ErrBadParams = errors.New("borderline: invalid parameters")
+
+// Chain is the µ = ∞ embedded process. Its state is (N, J): N peers, all
+// holding the same J pieces, with (0, 0) the empty state.
+type Chain struct {
+	k      int
+	lambda float64
+	r      *rng.RNG
+
+	now float64
+	n   int
+	j   int
+
+	stats Stats
+}
+
+// Stats counts the chain's structural events.
+type Stats struct {
+	Transitions    uint64
+	TopArrivals    uint64 // top-layer same-piece arrivals (n grows)
+	BatchDepByZ    uint64 // missing-piece arrivals resolved with Z departures
+	GroupWipeouts  uint64 // missing-piece arrivals that emptied the old group
+	LayerClimbs    uint64 // (n,j) → (n+1, j+1) new-piece arrivals below the top
+	SumZ           uint64 // total departures caused by missing-piece arrivals
+	MissingPieceAr uint64 // number of missing-piece arrivals (top layer)
+}
+
+// New builds a chain for K pieces with per-piece arrival rate lambda
+// (total rate K·lambda) starting from the empty state.
+func New(k int, lambda float64, seed uint64) (*Chain, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("%w: K must be ≥ 2, got %d", ErrBadParams, k)
+	}
+	if !(lambda > 0) {
+		return nil, fmt.Errorf("%w: λ = %v", ErrBadParams, lambda)
+	}
+	return &Chain{k: k, lambda: lambda, r: rng.New(seed)}, nil
+}
+
+// SetState forces the chain into state (n, j); used to start experiments on
+// the top layer directly. j must be in [1, K−1] when n ≥ 1.
+func (c *Chain) SetState(n, j int) error {
+	if n < 0 || (n == 0 && j != 0) || (n > 0 && (j < 1 || j > c.k-1)) {
+		return fmt.Errorf("%w: state (%d,%d)", ErrBadParams, n, j)
+	}
+	c.n, c.j = n, j
+	return nil
+}
+
+// State returns the current (N, J).
+func (c *Chain) State() (n, j int) { return c.n, c.j }
+
+// Now returns the simulated time.
+func (c *Chain) Now() float64 { return c.now }
+
+// Stats returns the event counters.
+func (c *Chain) Stats() Stats { return c.stats }
+
+// Step advances one embedded transition.
+func (c *Chain) Step() {
+	total := float64(c.k) * c.lambda
+	c.now += c.r.Exp(total)
+	c.stats.Transitions++
+
+	if c.n == 0 {
+		// First arrival: one random piece.
+		c.n, c.j = 1, 1
+		return
+	}
+	if c.j < c.k-1 {
+		// Below the top layer. The arriving peer holds one uniform piece:
+		// with probability j/K it duplicates a held piece and instantly
+		// catches up; otherwise its new piece spreads to everyone (at
+		// µ = ∞ one upload infects the group instantly) and the whole
+		// system moves up a layer. No departures are possible because the
+		// union of pieces still misses K−(j+1) ≥ 1 pieces.
+		if c.r.Intn(c.k) < c.j {
+			c.n++
+			return
+		}
+		c.n++
+		c.j++
+		c.stats.LayerClimbs++
+		return
+	}
+	// Top layer (n, K−1).
+	if c.r.Intn(c.k) < c.j {
+		// Arrival with a piece the club already has: instant catch-up.
+		c.n++
+		c.stats.TopArrivals++
+		return
+	}
+	// Arrival with the missing piece: the fair-coin race of Figure 3.
+	// Heads = the newcomer uploads the missing piece (one departure);
+	// tails = the newcomer downloads one of the K−1 pieces it lacks.
+	c.stats.MissingPieceAr++
+	heads, tails := 0, 0
+	for heads < c.n && tails < c.k-1 {
+		if c.r.Bernoulli(0.5) {
+			heads++
+		} else {
+			tails++
+		}
+	}
+	c.stats.SumZ += uint64(heads)
+	if tails == c.k-1 {
+		// Newcomer completed and departed; Z = heads ≤ n−1 members left...
+		// heads < n by the loop guard unless heads == n simultaneously.
+		c.n -= heads
+		c.stats.BatchDepByZ++
+		if c.n == 0 {
+			// Exactly the whole club departed along with the newcomer.
+			c.j = 0
+			c.stats.GroupWipeouts++
+		}
+		return
+	}
+	// The entire club departed before the newcomer finished downloading:
+	// it remains alone with its original piece plus `tails` downloads.
+	c.n = 1
+	c.j = 1 + tails
+	c.stats.GroupWipeouts++
+}
+
+// RunTransitions advances a fixed number of embedded transitions.
+func (c *Chain) RunTransitions(steps int) {
+	for i := 0; i < steps; i++ {
+		c.Step()
+	}
+}
+
+// EmpiricalMeanZ estimates E[Z] — the number of departures caused by one
+// missing-piece arrival into an effectively infinite club — by direct
+// sampling of the coin race. The paper's null-recurrence argument rests on
+// E[Z] = K−1 exactly.
+func EmpiricalMeanZ(k int, trials int, seed uint64) (float64, error) {
+	if k < 2 || trials <= 0 {
+		return 0, ErrBadParams
+	}
+	r := rng.New(seed)
+	var sum float64
+	for i := 0; i < trials; i++ {
+		heads, tails := 0, 0
+		for tails < k-1 {
+			if r.Bernoulli(0.5) {
+				heads++
+			} else {
+				tails++
+			}
+		}
+		sum += float64(heads)
+	}
+	return sum / float64(trials), nil
+}
+
+// ReturnTimeSummary measures excursions of the top-layer walk: starting
+// from (startN, K−1), the number of transitions until N ≤ startN/2, capped
+// at maxSteps per excursion. Null-recurrent walks show heavy-tailed
+// excursions — many hit the cap — whereas a positive-recurrent system's
+// excursions would be short.
+type ReturnTimeSummary struct {
+	Excursions int
+	Capped     int     // excursions that hit maxSteps without returning
+	MeanSteps  float64 // over the non-capped excursions
+}
+
+// MeasureReturnTimes runs the excursion experiment.
+func MeasureReturnTimes(k int, lambda float64, startN, excursions, maxSteps int, seed uint64) (ReturnTimeSummary, error) {
+	if startN < 2 || excursions <= 0 || maxSteps <= 0 {
+		return ReturnTimeSummary{}, ErrBadParams
+	}
+	var out ReturnTimeSummary
+	var sum float64
+	var counted int
+	for e := 0; e < excursions; e++ {
+		c, err := New(k, lambda, seed+uint64(e)*7919)
+		if err != nil {
+			return ReturnTimeSummary{}, err
+		}
+		if err := c.SetState(startN, k-1); err != nil {
+			return ReturnTimeSummary{}, err
+		}
+		out.Excursions++
+		returned := false
+		for step := 1; step <= maxSteps; step++ {
+			c.Step()
+			if n, _ := c.State(); n <= startN/2 {
+				sum += float64(step)
+				counted++
+				returned = true
+				break
+			}
+		}
+		if !returned {
+			out.Capped++
+		}
+	}
+	if counted > 0 {
+		out.MeanSteps = sum / float64(counted)
+	}
+	return out, nil
+}

@@ -1,0 +1,269 @@
+// Package branching implements the branching-process machinery of the
+// paper's transience proof (Section VI): the autonomous branching system
+// (ABS) constants m_b, m_f and m_g(C), their ξ → 0 limits, and a small
+// general multitype branching toolkit (mean matrices, spectral radius,
+// expected total progeny) used to cross-check the closed forms.
+package branching
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors reported by the package.
+var (
+	ErrSupercritical = errors.New("branching: process is supercritical (infinite progeny)")
+	ErrBadMatrix     = errors.New("branching: malformed mean matrix")
+	ErrBadParams     = errors.New("branching: invalid parameters")
+)
+
+// ABSParams parameterizes the autonomous branching system of Section VI:
+// K pieces, peer rate µ, seed-dwell rate γ (finite or +Inf), and the small
+// coupling slack ξ ∈ [0, 1).
+type ABSParams struct {
+	K     int
+	Mu    float64
+	Gamma float64 // may be +Inf
+	Xi    float64
+}
+
+// muOverGamma returns µ/γ with µ/∞ = 0.
+func (p ABSParams) muOverGamma() float64 {
+	if math.IsInf(p.Gamma, 1) {
+		return 0
+	}
+	return p.Mu / p.Gamma
+}
+
+// Validate checks the ABS parameter ranges.
+func (p ABSParams) Validate() error {
+	if p.K < 1 {
+		return fmt.Errorf("%w: K = %d", ErrBadParams, p.K)
+	}
+	if !(p.Mu > 0) || math.IsInf(p.Mu, 0) {
+		return fmt.Errorf("%w: µ = %v", ErrBadParams, p.Mu)
+	}
+	if !(p.Gamma > 0) {
+		return fmt.Errorf("%w: γ = %v", ErrBadParams, p.Gamma)
+	}
+	if p.Xi < 0 || p.Xi >= 1 {
+		return fmt.Errorf("%w: ξ = %v", ErrBadParams, p.Xi)
+	}
+	return nil
+}
+
+// Subcritical evaluates condition (6) of the paper:
+//
+//	ξ·((K−1)/(1−ξ) + µ/γ) + µ/γ < 1
+//
+// Under it the ABS offspring means are finite.
+func (p ABSParams) Subcritical() bool {
+	if p.Validate() != nil {
+		return false
+	}
+	r := p.muOverGamma()
+	return p.Xi*(float64(p.K-1)/(1-p.Xi)+r)+r < 1
+}
+
+// Means returns (m_b, m_f): one plus the mean number of descendants of a
+// group-(b) peer and of a group-(f) peer in the ABS, per the closed form
+// below equation (6). ErrSupercritical is returned when (6) fails.
+func (p ABSParams) Means() (mb, mf float64, err error) {
+	if err := p.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if !p.Subcritical() {
+		return math.Inf(1), math.Inf(1), ErrSupercritical
+	}
+	r := p.muOverGamma()
+	a := float64(p.K-1)/(1-p.Xi) + r // mean uploads of a group-(b) peer
+	den := 1 - p.Xi*a - r
+	mb = 1 + (1+p.Xi)/den*a
+	mf = 1 + (1+p.Xi)/den*r
+	return mb, mf, nil
+}
+
+// MeanGifted returns m_g(C): the mean total number of ABS descendants of a
+// gifted peer that arrives holding |C| = size pieces (the root itself is
+// not counted):
+//
+//	m_g = ((K−|C|)/(1−ξ) + µ/γ)·(ξ·m_b + m_f)
+func (p ABSParams) MeanGifted(size int) (float64, error) {
+	if size < 0 || size > p.K {
+		return 0, fmt.Errorf("%w: |C| = %d", ErrBadParams, size)
+	}
+	mb, mf, err := p.Means()
+	if err != nil {
+		return 0, err
+	}
+	r := p.muOverGamma()
+	return (float64(p.K-size)/(1-p.Xi) + r) * (p.Xi*mb + mf), nil
+}
+
+// LimitMeans returns the ξ → 0 limits quoted in the paper:
+// m_b → K/(1−µ/γ), m_f → 1/(1−µ/γ). It requires µ < γ.
+func LimitMeans(k int, mu, gamma float64) (mb, mf float64, err error) {
+	r := ratio(mu, gamma)
+	if r >= 1 {
+		return 0, 0, ErrSupercritical
+	}
+	return float64(k) / (1 - r), 1 / (1 - r), nil
+}
+
+// LimitMeanGifted returns the ξ → 0 limit of m_g(C):
+// (K−|C|+µ/γ)/(1−µ/γ), the expected number of one-club departures a gifted
+// peer ultimately causes. This is the coefficient of λ_C in Theorem 1.
+func LimitMeanGifted(k, size int, mu, gamma float64) (float64, error) {
+	r := ratio(mu, gamma)
+	if r >= 1 {
+		return 0, ErrSupercritical
+	}
+	if size < 0 || size > k {
+		return 0, fmt.Errorf("%w: |C| = %d", ErrBadParams, size)
+	}
+	return (float64(k-size) + r) / (1 - r), nil
+}
+
+// SeedDescendants returns 1/(1−µ/γ): the expected number of one-club
+// departures ultimately caused by a single seed upload (Example 1's
+// branching argument). It requires µ < γ.
+func SeedDescendants(mu, gamma float64) (float64, error) {
+	r := ratio(mu, gamma)
+	if r >= 1 {
+		return 0, ErrSupercritical
+	}
+	return 1 / (1 - r), nil
+}
+
+func ratio(mu, gamma float64) float64 {
+	if math.IsInf(gamma, 1) {
+		return 0
+	}
+	if gamma <= 0 {
+		return math.Inf(1)
+	}
+	return mu / gamma
+}
+
+// SpectralRadius estimates the Perron eigenvalue of a non-negative square
+// matrix by power iteration; the multitype process is subcritical iff the
+// value is below one.
+func SpectralRadius(m [][]float64) (float64, error) {
+	n := len(m)
+	if n == 0 {
+		return 0, ErrBadMatrix
+	}
+	for _, row := range m {
+		if len(row) != n {
+			return 0, ErrBadMatrix
+		}
+		for _, v := range row {
+			if v < 0 || math.IsNaN(v) {
+				return 0, fmt.Errorf("%w: negative or NaN entry", ErrBadMatrix)
+			}
+		}
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	radius := 0.0
+	for iter := 0; iter < 500; iter++ {
+		next := make([]float64, n)
+		var norm float64
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				next[i] += m[i][j] * v[j]
+			}
+			if next[i] > norm {
+				norm = next[i]
+			}
+		}
+		if norm == 0 {
+			return 0, nil
+		}
+		for i := range next {
+			next[i] /= norm
+		}
+		if math.Abs(norm-radius) < 1e-13*(1+norm) {
+			return norm, nil
+		}
+		radius = norm
+		v = next
+	}
+	return radius, nil
+}
+
+// TotalProgeny solves m = 1 + M·m for the expected total progeny vector of
+// a multitype branching process with mean offspring matrix M (entry [i][j]
+// is the mean number of type-j offspring of a type-i individual). It
+// returns ErrSupercritical when the process has no finite solution.
+func TotalProgeny(m [][]float64) ([]float64, error) {
+	n := len(m)
+	if n == 0 {
+		return nil, ErrBadMatrix
+	}
+	rho, err := SpectralRadius(m)
+	if err != nil {
+		return nil, err
+	}
+	if rho >= 1 {
+		return nil, ErrSupercritical
+	}
+	// Solve (I − Mᵀ)·x = 1. Progeny counts descendants of every type, so
+	// the recursion is m_i = 1 + Σ_j M[i][j]·m_j, i.e. (I − M)·m = 1.
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n+1)
+		for j := 0; j < n; j++ {
+			a[i][j] = -m[i][j]
+			if i == j {
+				a[i][j]++
+			}
+		}
+		a[i][n] = 1
+	}
+	if err := gaussSolve(a); err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = a[i][n]
+		if out[i] < 0 {
+			return nil, ErrSupercritical
+		}
+	}
+	return out, nil
+}
+
+// gaussSolve reduces an augmented matrix in place with partial pivoting and
+// back-substitutes the solution into the last column.
+func gaussSolve(a [][]float64) error {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-14 {
+			return ErrSupercritical
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		for r := 0; r < n; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			for c := col; c <= n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		a[i][n] /= a[i][i]
+	}
+	return nil
+}

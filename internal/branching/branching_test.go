@@ -1,0 +1,237 @@
+package branching
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	good := ABSParams{K: 3, Mu: 1, Gamma: 2, Xi: 0.01}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good params rejected: %v", err)
+	}
+	bad := []ABSParams{
+		{K: 0, Mu: 1, Gamma: 2, Xi: 0},
+		{K: 3, Mu: 0, Gamma: 2, Xi: 0},
+		{K: 3, Mu: 1, Gamma: 0, Xi: 0},
+		{K: 3, Mu: 1, Gamma: 2, Xi: -0.1},
+		{K: 3, Mu: 1, Gamma: 2, Xi: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); !errors.Is(err, ErrBadParams) {
+			t.Errorf("bad[%d] err = %v", i, err)
+		}
+	}
+}
+
+func TestSubcriticalCondition(t *testing.T) {
+	// At ξ = 0 the condition reduces to µ/γ < 1.
+	if !(ABSParams{K: 5, Mu: 1, Gamma: 2, Xi: 0}).Subcritical() {
+		t.Error("µ<γ, ξ=0 must be subcritical")
+	}
+	if (ABSParams{K: 5, Mu: 2, Gamma: 1, Xi: 0}).Subcritical() {
+		t.Error("µ>γ must be supercritical at ξ=0")
+	}
+	// Large ξ with large K breaks (6).
+	if (ABSParams{K: 100, Mu: 1, Gamma: 2, Xi: 0.5}).Subcritical() {
+		t.Error("large ξ with K=100 must violate (6)")
+	}
+}
+
+// TestMeansMatchLimit verifies m_b, m_f approach the paper's ξ→0 limits.
+func TestMeansMatchLimit(t *testing.T) {
+	const k, mu, gamma = 4, 1.0, 3.0
+	wantMb, wantMf, err := LimitMeans(k, mu, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K/(1−1/3) = 6, 1/(1−1/3) = 1.5
+	if math.Abs(wantMb-6) > 1e-12 || math.Abs(wantMf-1.5) > 1e-12 {
+		t.Fatalf("limits = %v, %v", wantMb, wantMf)
+	}
+	prevDiff := math.Inf(1)
+	for _, xi := range []float64{0.1, 0.01, 0.001, 0.0001} {
+		mb, mf, err := ABSParams{K: k, Mu: mu, Gamma: gamma, Xi: xi}.Means()
+		if err != nil {
+			t.Fatalf("ξ=%v: %v", xi, err)
+		}
+		diff := math.Abs(mb-wantMb) + math.Abs(mf-wantMf)
+		if diff >= prevDiff {
+			t.Errorf("ξ=%v: means not converging (diff %v ≥ %v)", xi, diff, prevDiff)
+		}
+		prevDiff = diff
+	}
+	if prevDiff > 1e-2 {
+		t.Errorf("means at ξ=1e-4 still off by %v", prevDiff)
+	}
+}
+
+// TestMeansFixedPoint verifies (m_b, m_f) solve the ABS fixed-point system
+//
+//	m_b = 1 + ξ·a·m_b + a·m_f,  m_f = 1 + ξ·r·m_b + r·m_f
+//
+// with a = (K−1)/(1−ξ)+µ/γ and r = µ/γ.
+func TestMeansFixedPoint(t *testing.T) {
+	p := ABSParams{K: 3, Mu: 1, Gamma: 4, Xi: 0.05}
+	mb, mf, err := p.Means()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Mu / p.Gamma
+	a := float64(p.K-1)/(1-p.Xi) + r
+	eq1 := 1 + p.Xi*a*mb + a*mf
+	eq2 := 1 + p.Xi*r*mb + r*mf
+	if math.Abs(mb-eq1) > 1e-9 || math.Abs(mf-eq2) > 1e-9 {
+		t.Errorf("fixed point violated: mb=%v vs %v, mf=%v vs %v", mb, eq1, mf, eq2)
+	}
+}
+
+func TestMeansSupercritical(t *testing.T) {
+	if _, _, err := (ABSParams{K: 3, Mu: 2, Gamma: 1, Xi: 0}).Means(); !errors.Is(err, ErrSupercritical) {
+		t.Errorf("err = %v, want ErrSupercritical", err)
+	}
+}
+
+func TestMeanGiftedLimit(t *testing.T) {
+	const k, mu, gamma = 5, 1.0, 2.0
+	for size := 0; size <= k; size++ {
+		want, err := LimitMeanGifted(k, size, mu, gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ABSParams{K: k, Mu: mu, Gamma: gamma, Xi: 1e-6}.MeanGifted(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-3*(1+want) {
+			t.Errorf("|C|=%d: m_g = %v, limit %v", size, got, want)
+		}
+	}
+	if _, err := (ABSParams{K: 3, Mu: 1, Gamma: 2, Xi: 0}).MeanGifted(-1); err == nil {
+		t.Error("negative size must error")
+	}
+	if _, err := LimitMeanGifted(3, 9, 1, 2); err == nil {
+		t.Error("size > K must error")
+	}
+}
+
+func TestSeedDescendants(t *testing.T) {
+	got, err := SeedDescendants(1, 2)
+	if err != nil || math.Abs(got-2) > 1e-12 {
+		t.Errorf("SeedDescendants(1,2) = %v, %v; want 2", got, err)
+	}
+	got, err = SeedDescendants(1, math.Inf(1))
+	if err != nil || got != 1 {
+		t.Errorf("γ=∞ must give 1, got %v", got)
+	}
+	if _, err := SeedDescendants(2, 1); !errors.Is(err, ErrSupercritical) {
+		t.Errorf("µ>γ err = %v", err)
+	}
+}
+
+func TestSpectralRadius(t *testing.T) {
+	// Known eigenvalue: [[0.5, 0.25],[0.25, 0.5]] has Perron value 0.75.
+	rho, err := SpectralRadius([][]float64{{0.5, 0.25}, {0.25, 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-0.75) > 1e-9 {
+		t.Errorf("rho = %v, want 0.75", rho)
+	}
+	// Zero matrix.
+	rho, err = SpectralRadius([][]float64{{0, 0}, {0, 0}})
+	if err != nil || rho != 0 {
+		t.Errorf("zero matrix rho = %v, %v", rho, err)
+	}
+	// Malformed inputs.
+	if _, err := SpectralRadius(nil); !errors.Is(err, ErrBadMatrix) {
+		t.Error("nil matrix must error")
+	}
+	if _, err := SpectralRadius([][]float64{{1, 2}}); !errors.Is(err, ErrBadMatrix) {
+		t.Error("ragged matrix must error")
+	}
+	if _, err := SpectralRadius([][]float64{{-1}}); !errors.Is(err, ErrBadMatrix) {
+		t.Error("negative entry must error")
+	}
+}
+
+func TestTotalProgenySingleType(t *testing.T) {
+	// Single type with mean m: progeny = 1/(1−m).
+	out, err := TotalProgeny([][]float64{{0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-2) > 1e-9 {
+		t.Errorf("progeny = %v, want 2", out[0])
+	}
+	if _, err := TotalProgeny([][]float64{{1.5}}); !errors.Is(err, ErrSupercritical) {
+		t.Errorf("supercritical err = %v", err)
+	}
+}
+
+// TestTotalProgenyMatchesABS rebuilds the ABS two-type mean matrix and
+// confirms TotalProgeny reproduces the closed-form m_b, m_f.
+func TestTotalProgenyMatchesABS(t *testing.T) {
+	p := ABSParams{K: 4, Mu: 1, Gamma: 3, Xi: 0.02}
+	mb, mf, err := p.Means()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Mu / p.Gamma
+	a := float64(p.K-1)/(1-p.Xi) + r
+	m := [][]float64{
+		{p.Xi * a, a}, // group (b): spawns ξa of type b, a of type f
+		{p.Xi * r, r}, // group (f)
+	}
+	out, err := TotalProgeny(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-mb) > 1e-9 || math.Abs(out[1]-mf) > 1e-9 {
+		t.Errorf("progeny = %v, want (%v, %v)", out, mb, mf)
+	}
+}
+
+func TestTotalProgenyEmpty(t *testing.T) {
+	if _, err := TotalProgeny(nil); !errors.Is(err, ErrBadMatrix) {
+		t.Error("empty matrix must error")
+	}
+}
+
+// Property: for subcritical single-type processes the progeny formula holds.
+func TestQuickSingleTypeProgeny(t *testing.T) {
+	f := func(raw uint16) bool {
+		m := float64(raw%999) / 1000 // in [0, 0.999)
+		out, err := TotalProgeny([][]float64{{m}})
+		if err != nil {
+			return false
+		}
+		return math.Abs(out[0]-1/(1-m)) < 1e-6/(1-m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: m_g is decreasing in |C| — gifted peers with more pieces cause
+// fewer one-club departures.
+func TestQuickMeanGiftedMonotone(t *testing.T) {
+	p := ABSParams{K: 6, Mu: 1, Gamma: 2.5, Xi: 0.01}
+	f := func(raw uint8) bool {
+		size := int(raw) % p.K
+		a, err := p.MeanGifted(size)
+		if err != nil {
+			return false
+		}
+		b, err := p.MeanGifted(size + 1)
+		if err != nil {
+			return false
+		}
+		return a > b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,123 @@
+package branching
+
+import (
+	"fmt"
+	"math"
+)
+
+// PoissonOffspring describes a multitype branching process whose type-i
+// individuals spawn type-j offspring as a Poisson variate with mean
+// Mean[i][j], all independent — exactly the offspring law of the paper's
+// autonomous branching system, where spawning happens at Poisson clock
+// ticks over an exponential lifetime. (Mixtures of exponentials keep the
+// compound law's probability generating function analytic; the Poisson
+// approximation matches the ABS means and is what the extinction
+// diagnostics in the experiments use.)
+type PoissonOffspring struct {
+	Mean [][]float64
+}
+
+// Validate checks matrix shape and entries.
+func (p PoissonOffspring) Validate() error {
+	n := len(p.Mean)
+	if n == 0 {
+		return ErrBadMatrix
+	}
+	for _, row := range p.Mean {
+		if len(row) != n {
+			return ErrBadMatrix
+		}
+		for _, v := range row {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: entry %v", ErrBadMatrix, v)
+			}
+		}
+	}
+	return nil
+}
+
+// ExtinctionProbability returns the per-type extinction probabilities
+// q_i = P{the line of one type-i individual dies out}, computed as the
+// minimal fixed point of the generating-function iteration
+//
+//	q_i ← Π_j exp(Mean[i][j]·(q_j − 1))
+//
+// For subcritical and critical processes the result is all ones; for
+// supercritical ones it is strictly below one in the supercritical types.
+func (p PoissonOffspring) ExtinctionProbability() ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.Mean)
+	q := make([]float64, n) // start from 0 to converge to the minimal root
+	next := make([]float64, n)
+	for iter := 0; iter < 100000; iter++ {
+		var diff float64
+		for i := 0; i < n; i++ {
+			exponent := 0.0
+			for j := 0; j < n; j++ {
+				exponent += p.Mean[i][j] * (q[j] - 1)
+			}
+			next[i] = math.Exp(exponent)
+			if d := math.Abs(next[i] - q[i]); d > diff {
+				diff = d
+			}
+		}
+		q, next = next, q
+		if diff < 1e-14 {
+			break
+		}
+	}
+	return q, nil
+}
+
+// SurvivalProbability returns 1 − q_i for each type.
+func (p PoissonOffspring) SurvivalProbability() ([]float64, error) {
+	q, err := p.ExtinctionProbability()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(q))
+	for i, v := range q {
+		out[i] = 1 - v
+	}
+	return out, nil
+}
+
+// ABSOffspring builds the Poisson-mean offspring matrix of the paper's ABS
+// for group (b) and group (f) peers: type 0 = group (b) (infected), type
+// 1 = group (f) (former one-club). Entry [i][j] is the expected number of
+// type-j offspring of a type-i individual, matching the system solved by
+// Means.
+func (p ABSParams) ABSOffspring() ([][]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	r := p.muOverGamma()
+	a := float64(p.K-1)/(1-p.Xi) + r
+	return [][]float64{
+		{p.Xi * a, a},
+		{p.Xi * r, r},
+	}, nil
+}
+
+// OneClubEscapeProbability estimates the chance that a single seed upload
+// of the missing piece starts a cascade that never dies out, in the
+// supercritical regime µ > γ: the seeded peer behaves like a single-type
+// branching process with mean µ/γ Poisson offspring, so the escape
+// (survival) probability is 1 − q with q = exp(µ/γ·(q−1)). In the
+// subcritical regime (µ ≤ γ) the cascade always dies and 0 is returned.
+func OneClubEscapeProbability(mu, gamma float64) (float64, error) {
+	if !(mu > 0) || !(gamma > 0) {
+		return 0, fmt.Errorf("%w: µ=%v γ=%v", ErrBadParams, mu, gamma)
+	}
+	if math.IsInf(gamma, 1) || mu <= gamma {
+		return 0, nil
+	}
+	p := PoissonOffspring{Mean: [][]float64{{mu / gamma}}}
+	s, err := p.SurvivalProbability()
+	if err != nil {
+		return 0, err
+	}
+	return s[0], nil
+}

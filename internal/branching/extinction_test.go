@@ -1,0 +1,214 @@
+package branching
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestPoissonOffspringValidate(t *testing.T) {
+	good := PoissonOffspring{Mean: [][]float64{{0.5}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []PoissonOffspring{
+		{},
+		{Mean: [][]float64{{1, 2}}},
+		{Mean: [][]float64{{-1}}},
+		{Mean: [][]float64{{math.NaN()}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); !errors.Is(err, ErrBadMatrix) {
+			t.Errorf("bad[%d] err = %v", i, err)
+		}
+	}
+}
+
+// TestExtinctionSubcritical: mean ≤ 1 ⇒ extinction certain.
+func TestExtinctionSubcritical(t *testing.T) {
+	for _, m := range []float64{0, 0.3, 0.9} {
+		p := PoissonOffspring{Mean: [][]float64{{m}}}
+		q, err := p.ExtinctionProbability()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(q[0]-1) > 1e-6 {
+			t.Errorf("m=%v: q = %v, want 1", m, q[0])
+		}
+	}
+	// The critical case m = 1 converges like 2/n, so allow a loose
+	// tolerance there.
+	q, err := PoissonOffspring{Mean: [][]float64{{1}}}.ExtinctionProbability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q[0]-1) > 1e-3 {
+		t.Errorf("critical m=1: q = %v, want ≈ 1", q[0])
+	}
+}
+
+// TestExtinctionSupercriticalFixedPoint: for m > 1, q solves
+// q = exp(m(q−1)) with q < 1.
+func TestExtinctionSupercriticalFixedPoint(t *testing.T) {
+	for _, m := range []float64{1.2, 2, 5} {
+		p := PoissonOffspring{Mean: [][]float64{{m}}}
+		q, err := p.ExtinctionProbability()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q[0] >= 1 || q[0] <= 0 {
+			t.Fatalf("m=%v: q = %v out of (0,1)", m, q[0])
+		}
+		if residual := math.Abs(q[0] - math.Exp(m*(q[0]-1))); residual > 1e-10 {
+			t.Errorf("m=%v: fixed-point residual %v", m, residual)
+		}
+	}
+}
+
+// TestExtinctionMatchesSimulation cross-checks the analytic extinction
+// probability against direct Monte-Carlo of the Poisson branching process.
+func TestExtinctionMatchesSimulation(t *testing.T) {
+	const m = 1.8
+	p := PoissonOffspring{Mean: [][]float64{{m}}}
+	q, err := p.ExtinctionProbability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(13)
+	const trials = 6000
+	extinct := 0
+	for i := 0; i < trials; i++ {
+		pop := 1
+		for gen := 0; gen < 200 && pop > 0 && pop < 2000; gen++ {
+			next := 0
+			for j := 0; j < pop; j++ {
+				next += r.Poisson(m)
+			}
+			pop = next
+		}
+		if pop == 0 {
+			extinct++
+		}
+	}
+	got := float64(extinct) / trials
+	if math.Abs(got-q[0]) > 0.02 {
+		t.Errorf("simulated extinction %v vs analytic %v", got, q[0])
+	}
+}
+
+// TestMultitypeExtinctionOrdering: a type with more offspring mass survives
+// more often.
+func TestMultitypeExtinctionOrdering(t *testing.T) {
+	p := PoissonOffspring{Mean: [][]float64{
+		{1.5, 0.5}, // aggressive type
+		{0.2, 0.9}, // weak type (but can spawn type 0)
+	}}
+	q, err := p.ExtinctionProbability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(q[0] < q[1]) {
+		t.Errorf("expected q0 < q1, got %v", q)
+	}
+	for i, v := range q {
+		if v <= 0 || v >= 1 {
+			t.Errorf("q[%d] = %v out of (0,1)", i, v)
+		}
+	}
+}
+
+// TestABSOffspringMatchesMeans: TotalProgeny over ABSOffspring reproduces
+// the closed-form m_b, m_f.
+func TestABSOffspringMatchesMeans(t *testing.T) {
+	p := ABSParams{K: 5, Mu: 1, Gamma: 3, Xi: 0.03}
+	m, err := p.ABSOffspring()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := TotalProgeny(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, mf, err := p.Means()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(prog[0]-mb) > 1e-9 || math.Abs(prog[1]-mf) > 1e-9 {
+		t.Errorf("progeny %v vs closed form (%v, %v)", prog, mb, mf)
+	}
+	if _, err := (ABSParams{}).ABSOffspring(); err == nil {
+		t.Error("invalid ABS params accepted")
+	}
+}
+
+// TestABSExtinctionSubcritical: under condition (6), the ABS dies out
+// almost surely — exactly why infected peers cannot rescue the one-club.
+func TestABSExtinctionSubcritical(t *testing.T) {
+	p := ABSParams{K: 4, Mu: 1, Gamma: 2, Xi: 0.01}
+	if !p.Subcritical() {
+		t.Fatal("expected subcritical ABS")
+	}
+	m, err := p.ABSOffspring()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := PoissonOffspring{Mean: m}.ExtinctionProbability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range q {
+		if math.Abs(v-1) > 1e-6 {
+			t.Errorf("q[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestOneClubEscapeProbability(t *testing.T) {
+	// µ ≤ γ: cascade always dies.
+	p, err := OneClubEscapeProbability(1, 2)
+	if err != nil || p != 0 {
+		t.Errorf("µ<γ escape = %v, %v", p, err)
+	}
+	p, err = OneClubEscapeProbability(1, math.Inf(1))
+	if err != nil || p != 0 {
+		t.Errorf("γ=∞ escape = %v, %v", p, err)
+	}
+	// µ > γ: positive survival, increasing in µ/γ.
+	p1, err := OneClubEscapeProbability(2, 1)
+	if err != nil || p1 <= 0 || p1 >= 1 {
+		t.Fatalf("escape(2,1) = %v, %v", p1, err)
+	}
+	p2, err := OneClubEscapeProbability(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(p2 > p1) {
+		t.Errorf("escape not increasing: %v vs %v", p1, p2)
+	}
+	if _, err := OneClubEscapeProbability(0, 1); !errors.Is(err, ErrBadParams) {
+		t.Error("µ=0 accepted")
+	}
+}
+
+// Property: extinction probabilities always land in [0,1] and are
+// decreasing in the offspring mean.
+func TestQuickExtinctionMonotone(t *testing.T) {
+	f := func(raw uint16) bool {
+		m := float64(raw%500)/100 + 0.01 // (0.01, 5.01)
+		q1, err := PoissonOffspring{Mean: [][]float64{{m}}}.ExtinctionProbability()
+		if err != nil {
+			return false
+		}
+		q2, err := PoissonOffspring{Mean: [][]float64{{m + 0.5}}}.ExtinctionProbability()
+		if err != nil {
+			return false
+		}
+		return q1[0] >= 0 && q1[0] <= 1 && q2[0] <= q1[0]+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,114 @@
+// Package cli holds flag-parsing helpers shared by the cmd binaries:
+// parsing piece-set arrival specs like "1,2=0.5" and the γ = ∞ spelling.
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/pieceset"
+)
+
+// ErrBadSpec reports an unparsable command-line specification.
+var ErrBadSpec = errors.New("cli: bad specification")
+
+// ParseGamma parses a γ value: a positive float or "inf" (any case).
+func ParseGamma(s string) (float64, error) {
+	if strings.EqualFold(strings.TrimSpace(s), "inf") {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: gamma %q", ErrBadSpec, s)
+	}
+	return v, nil
+}
+
+// ParseArrival parses one arrival spec "PIECES=RATE" where PIECES is a
+// comma-separated list of piece numbers or "empty"/"" for the empty type.
+// Examples: "empty=1.5", "1,2=0.4", "3=0.25".
+func ParseArrival(spec string) (pieceset.Set, float64, error) {
+	parts := strings.SplitN(spec, "=", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("%w: arrival %q (want PIECES=RATE)", ErrBadSpec, spec)
+	}
+	rate, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: rate in %q", ErrBadSpec, spec)
+	}
+	set, err := ParsePieces(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	return set, rate, nil
+}
+
+// ParsePieces parses "1,3,4", "empty", or "" into a piece set.
+func ParsePieces(s string) (pieceset.Set, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || strings.EqualFold(s, "empty") || s == "{}" {
+		return pieceset.Empty, nil
+	}
+	var pieces []int
+	for _, tok := range strings.Split(s, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			return 0, fmt.Errorf("%w: piece %q", ErrBadSpec, tok)
+		}
+		pieces = append(pieces, p)
+	}
+	set, err := pieceset.Of(pieces...)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	return set, nil
+}
+
+// ArrivalFlags accumulates repeated -arrive flags into a λ map.
+type ArrivalFlags struct {
+	Lambda map[pieceset.Set]float64
+}
+
+// String implements flag.Value.
+func (a *ArrivalFlags) String() string {
+	if a == nil || len(a.Lambda) == 0 {
+		return ""
+	}
+	var parts []string
+	for c, l := range a.Lambda {
+		parts = append(parts, fmt.Sprintf("%v=%g", c, l))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Set implements flag.Value.
+func (a *ArrivalFlags) Set(spec string) error {
+	c, rate, err := ParseArrival(spec)
+	if err != nil {
+		return err
+	}
+	if a.Lambda == nil {
+		a.Lambda = make(map[pieceset.Set]float64)
+	}
+	a.Lambda[c] += rate
+	return nil
+}
+
+// BuildParams assembles model parameters from parsed flag values, applying
+// the default of empty-type arrivals at rate lambda0 when no -arrive flags
+// were given.
+func BuildParams(k int, us, mu, gamma, lambda0 float64, arrivals *ArrivalFlags) (model.Params, error) {
+	lambda := arrivals.Lambda
+	if len(lambda) == 0 {
+		lambda = map[pieceset.Set]float64{pieceset.Empty: lambda0}
+	}
+	p := model.Params{K: k, Us: us, Mu: mu, Gamma: gamma, Lambda: lambda}
+	if err := p.Validate(); err != nil {
+		return model.Params{}, err
+	}
+	return p, nil
+}

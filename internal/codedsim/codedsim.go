@@ -1,0 +1,450 @@
+// Package codedsim simulates the network-coded variant of the model
+// (Section VIII-B / Theorem 15): peers hold subspaces of F_q^K, uploaders
+// transmit uniformly random linear combinations of their coded pieces, and
+// a transfer is useful exactly when the received coding vector falls
+// outside the receiver's span. The simulator is the coded analogue of
+// internal/sim and shares its event-race structure.
+package codedsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/gf"
+	"repro/internal/rng"
+	"repro/internal/stability"
+)
+
+// Errors reported by the simulator.
+var ErrNoProgress = errors.New("codedsim: zero total event rate")
+
+// Option configures a Swarm.
+type Option func(*config)
+
+type config struct {
+	seed           uint64
+	randomGiftRate float64
+	fullExchange   bool
+	initial        []initialGroup
+}
+
+type initialGroup struct {
+	sub   *gf.Subspace
+	count int
+}
+
+// WithSeed sets the deterministic RNG seed (default 1).
+func WithSeed(seed uint64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// WithRandomGiftRate adds a Poisson arrival stream at the given rate whose
+// peers hold the span of one uniformly random vector of F_q^K — the paper's
+// "one random coded piece on arrival" gift model. A zero draw (probability
+// q^{−K}) arrives with nothing, exactly as the paper notes.
+func WithRandomGiftRate(rate float64) Option {
+	return func(c *config) { c.randomGiftRate = rate }
+}
+
+// WithFullExchange enables the Remark 16 mode of operation: peers exchange
+// subspace descriptions, so whenever the uploader's subspace is not
+// contained in the receiver's, a useful (innovative) coded piece is always
+// delivered — the effective transfer rate becomes µ̃ = µ instead of
+// (1−1/q)µ.
+func WithFullExchange() Option {
+	return func(c *config) { c.fullExchange = true }
+}
+
+// WithInitialPeers seeds the swarm with count peers holding the given
+// subspace.
+func WithInitialPeers(sub *gf.Subspace, count int) Option {
+	return func(c *config) {
+		c.initial = append(c.initial, initialGroup{sub: sub, count: count})
+	}
+}
+
+// Stats counts processed events.
+type Stats struct {
+	Events     uint64
+	Arrivals   uint64
+	Departures uint64
+	Uploads    uint64 // innovative (useful) transfers
+	NoOps      uint64 // non-innovative contacts
+}
+
+// Swarm is one sample path of the coded system's CTMC, with peers grouped
+// by canonical subspace.
+type Swarm struct {
+	params stability.CodedParams
+	r      *rng.RNG
+
+	now    float64
+	n      int
+	groups map[string]*group
+	keys   []string // sorted; deterministic iteration
+	nFull  int
+
+	arrivalWeights []float64 // per params.Arrivals, plus random-gift stream
+	randomGiftRate float64
+	fullExchange   bool
+
+	stats     Stats
+	occupancy dist.TimeAverage
+}
+
+type group struct {
+	sub   *gf.Subspace
+	count int
+}
+
+// New validates parameters and builds a coded swarm.
+func New(p stability.CodedParams, opts ...Option) (*Swarm, error) {
+	cfg := config{seed: 1}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if err := validate(p, cfg); err != nil {
+		return nil, err
+	}
+	s := &Swarm{
+		params:         p,
+		r:              rng.New(cfg.seed),
+		groups:         make(map[string]*group),
+		randomGiftRate: cfg.randomGiftRate,
+		fullExchange:   cfg.fullExchange,
+	}
+	for _, a := range p.Arrivals {
+		s.arrivalWeights = append(s.arrivalWeights, a.Rate)
+	}
+	if cfg.randomGiftRate > 0 {
+		s.arrivalWeights = append(s.arrivalWeights, cfg.randomGiftRate)
+	}
+	for _, ig := range cfg.initial {
+		for i := 0; i < ig.count; i++ {
+			s.add(ig.sub)
+		}
+	}
+	s.occupancy.Observe(0, float64(s.n))
+	return s, nil
+}
+
+func validate(p stability.CodedParams, cfg config) error {
+	// The stability validator requires a positive total arrival rate from
+	// p.Arrivals alone; permit the rate to come from the random-gift stream
+	// instead by padding validation when needed.
+	if err := p.Validate(); err != nil {
+		if cfg.randomGiftRate <= 0 {
+			return fmt.Errorf("codedsim: %w", err)
+		}
+		padded := p
+		padded.Arrivals = append([]stability.CodedArrival{
+			{V: gf.ZeroSubspace(p.Field, p.K), Rate: cfg.randomGiftRate},
+		}, p.Arrivals...)
+		if err := padded.Validate(); err != nil {
+			return fmt.Errorf("codedsim: %w", err)
+		}
+	}
+	if cfg.randomGiftRate < 0 {
+		return errors.New("codedsim: random gift rate must be non-negative")
+	}
+	for _, ig := range cfg.initial {
+		if ig.sub == nil || ig.sub.Ambient() != p.K {
+			return errors.New("codedsim: initial subspace has wrong ambient dimension")
+		}
+		if ig.count < 0 {
+			return errors.New("codedsim: negative initial count")
+		}
+		if ig.sub.IsFull() && p.GammaInf() {
+			return errors.New("codedsim: initial full peers impossible when γ = ∞")
+		}
+	}
+	return nil
+}
+
+// Now returns the simulated time.
+func (s *Swarm) Now() float64 { return s.now }
+
+// N returns the population.
+func (s *Swarm) N() int { return s.n }
+
+// FullPeers returns the number of peers that can decode (dim = K).
+func (s *Swarm) FullPeers() int { return s.nFull }
+
+// Stats returns the event counters.
+func (s *Swarm) Stats() Stats { return s.stats }
+
+// MeanPeers returns the time-averaged population.
+func (s *Swarm) MeanPeers() float64 { return s.occupancy.Value() }
+
+// ResetOccupancy restarts the E[N] estimator at the current instant.
+func (s *Swarm) ResetOccupancy() {
+	s.occupancy = dist.TimeAverage{}
+	s.occupancy.Observe(s.now, float64(s.n))
+}
+
+// DimCounts returns the number of peers holding each subspace dimension,
+// indexed 0..K.
+func (s *Swarm) DimCounts() []int {
+	out := make([]int, s.params.K+1)
+	for _, g := range s.groups {
+		out[g.sub.Dim()] += g.count
+	}
+	return out
+}
+
+// GroupCount returns how many distinct subspace types are occupied.
+func (s *Swarm) GroupCount() int { return len(s.groups) }
+
+func (s *Swarm) add(sub *gf.Subspace) {
+	key := sub.Key()
+	g, ok := s.groups[key]
+	if !ok {
+		g = &group{sub: sub}
+		s.groups[key] = g
+		idx := sort.SearchStrings(s.keys, key)
+		s.keys = append(s.keys, "")
+		copy(s.keys[idx+1:], s.keys[idx:])
+		s.keys[idx] = key
+	}
+	g.count++
+	s.n++
+	if sub.IsFull() {
+		s.nFull++
+	}
+}
+
+func (s *Swarm) remove(g *group) {
+	g.count--
+	s.n--
+	if g.sub.IsFull() {
+		s.nFull--
+	}
+	if g.count == 0 {
+		key := g.sub.Key()
+		delete(s.groups, key)
+		idx := sort.SearchStrings(s.keys, key)
+		s.keys = append(s.keys[:idx], s.keys[idx+1:]...)
+	}
+}
+
+// pickUniform returns a uniformly random peer's group (n ≥ 1 required).
+func (s *Swarm) pickUniform() *group {
+	target := s.r.Intn(s.n)
+	for _, key := range s.keys {
+		g := s.groups[key]
+		target -= g.count
+		if target < 0 {
+			return g
+		}
+	}
+	return s.groups[s.keys[len(s.keys)-1]]
+}
+
+// Step advances the chain by one event.
+func (s *Swarm) Step() error {
+	lambdaTotal := s.randomGiftRate
+	for _, a := range s.params.Arrivals {
+		lambdaTotal += a.Rate
+	}
+	seedRate := 0.0
+	if s.n > 0 {
+		seedRate = s.params.Us
+	}
+	peerRate := s.params.Mu * float64(s.n)
+	depRate := 0.0
+	if !s.params.GammaInf() {
+		depRate = s.params.Gamma * float64(s.nFull)
+	}
+	total := lambdaTotal + seedRate + peerRate + depRate
+	if total <= 0 {
+		return ErrNoProgress
+	}
+	s.now += s.r.Exp(total)
+	s.stats.Events++
+
+	u := s.r.Float64() * total
+	switch {
+	case u < lambdaTotal:
+		s.stepArrival()
+	case u < lambdaTotal+seedRate:
+		s.stepSeedTick()
+	case u < lambdaTotal+seedRate+peerRate:
+		s.stepPeerTick()
+	default:
+		s.stepDeparture()
+	}
+	s.occupancy.Observe(s.now, float64(s.n))
+	return nil
+}
+
+func (s *Swarm) stepArrival() {
+	idx, err := s.r.Categorical(s.arrivalWeights)
+	if err != nil {
+		return
+	}
+	s.stats.Arrivals++
+	if idx < len(s.params.Arrivals) {
+		s.add(s.params.Arrivals[idx].V)
+		return
+	}
+	// Random-gift stream: one uniformly random coding vector.
+	v := make(gf.Vec, s.params.K)
+	for i := range v {
+		v[i] = s.r.Intn(s.params.Field.Order())
+	}
+	sub, err := gf.SpanOf(s.params.Field, s.params.K, v)
+	if err != nil {
+		return
+	}
+	s.add(sub)
+}
+
+// stepSeedTick has the fixed seed (which knows the whole file) send a
+// uniformly random coded piece to a uniform peer.
+func (s *Swarm) stepSeedTick() {
+	target := s.pickUniform()
+	for tries := 0; ; tries++ {
+		v := make(gf.Vec, s.params.K)
+		for i := range v {
+			v[i] = s.r.Intn(s.params.Field.Order())
+		}
+		if !s.fullExchange || target.sub.IsFull() || tries >= 256 {
+			s.deliver(target, v)
+			return
+		}
+		// Remark 16: the informed seed only sends innovative pieces.
+		in, err := target.sub.Contains(v)
+		if err == nil && !in {
+			s.deliver(target, v)
+			return
+		}
+	}
+}
+
+func (s *Swarm) stepPeerTick() {
+	uploader := s.pickUniform()
+	target := s.pickUniform()
+	if uploader == target && uploader.count == 1 {
+		// A single peer cannot usefully contact itself; and even with
+		// count > 1 a same-subspace transfer is never innovative.
+		s.stats.NoOps++
+		return
+	}
+	if s.fullExchange {
+		s.deliverInformed(target, uploader)
+		return
+	}
+	v := uploader.sub.RandomVector(s.r)
+	s.deliver(target, v)
+}
+
+// deliverInformed implements Remark 16: with subspace descriptions
+// exchanged, any helpful uploader (V_B ⊄ V_A) delivers an innovative piece
+// with certainty. We realize it by rejection-sampling an innovative vector
+// from the uploader's subspace, which exists whenever help is possible.
+func (s *Swarm) deliverInformed(target, uploader *group) {
+	sub, err := uploader.sub.SubsetOf(target.sub)
+	if err != nil || sub {
+		s.stats.NoOps++
+		return
+	}
+	for tries := 0; tries < 256; tries++ {
+		v := uploader.sub.RandomVector(s.r)
+		in, err := target.sub.Contains(v)
+		if err != nil {
+			s.stats.NoOps++
+			return
+		}
+		if !in {
+			s.deliver(target, v)
+			return
+		}
+	}
+	// Probability (1/q)^256 — unreachable in practice.
+	s.stats.NoOps++
+}
+
+// deliver adds coded piece v to the target group's subspace if innovative.
+func (s *Swarm) deliver(target *group, v gf.Vec) {
+	in, err := target.sub.Contains(v)
+	if err != nil || in {
+		s.stats.NoOps++
+		return
+	}
+	next, err := target.sub.Add(v)
+	if err != nil {
+		s.stats.NoOps++
+		return
+	}
+	s.remove(target)
+	if next.IsFull() && s.params.GammaInf() {
+		s.stats.Departures++
+	} else {
+		s.add(next)
+	}
+	s.stats.Uploads++
+}
+
+func (s *Swarm) stepDeparture() {
+	if s.nFull == 0 {
+		return
+	}
+	// Uniform among full peers; full groups may be split across keys only
+	// if multiple canonical keys are full, which cannot happen (the full
+	// subspace is unique), so take it directly.
+	full := gf.FullSubspace(s.params.Field, s.params.K)
+	g, ok := s.groups[full.Key()]
+	if !ok {
+		return
+	}
+	s.remove(g)
+	s.stats.Departures++
+}
+
+// RunUntil advances until the time or population limit fires.
+func (s *Swarm) RunUntil(maxTime float64, maxPeers int) error {
+	for s.now < maxTime {
+		if maxPeers > 0 && s.n >= maxPeers {
+			return nil
+		}
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TracePoint is one sampled observation of a coded swarm trajectory.
+type TracePoint struct {
+	T    float64
+	N    int
+	Full int   // peers that can decode
+	Dims []int // peers per subspace dimension 0..K
+}
+
+// Trace runs until maxTime, sampling every interval time units. It stops
+// early (without error) when the population reaches maxPeers > 0.
+func (s *Swarm) Trace(maxTime, interval float64, maxPeers int) ([]TracePoint, error) {
+	if interval <= 0 {
+		return nil, errors.New("codedsim: trace interval must be positive")
+	}
+	var out []TracePoint
+	next := s.now
+	for s.now < maxTime {
+		for s.now >= next {
+			out = append(out, TracePoint{
+				T: next, N: s.n, Full: s.nFull, Dims: s.DimCounts(),
+			})
+			next += interval
+		}
+		if maxPeers > 0 && s.n >= maxPeers {
+			break
+		}
+		if err := s.Step(); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,206 @@
+// Package core is the library's primary entry point: it ties the Zhu–Hajek
+// model (internal/model), the Theorem 1 / Theorem 15 stability theory
+// (internal/stability), the event-driven simulator (internal/sim), and the
+// exact truncated solver (internal/markov) behind one System type. A
+// downstream user configures a System with the paper's parameters and asks
+// it for the theoretical verdict, an empirical verdict from Monte-Carlo
+// sample paths, exact stationary statistics at small scale, or raw swarms
+// to drive directly.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/markov"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/stability"
+)
+
+// Re-exported verdicts so callers need only import core for the common path.
+const (
+	PositiveRecurrent = stability.PositiveRecurrent
+	Transient         = stability.Transient
+	Borderline        = stability.Borderline
+)
+
+// ErrBadConfig reports invalid empirical-run configuration.
+var ErrBadConfig = errors.New("core: invalid run configuration")
+
+// System is a P2P file-distribution system instance under the paper's
+// model. It is immutable after construction and safe for concurrent use by
+// methods that do not share swarms.
+type System struct {
+	params   model.Params
+	analysis stability.Analysis
+}
+
+// NewSystem validates parameters and precomputes the Theorem 1 analysis.
+func NewSystem(p model.Params) (*System, error) {
+	a, err := stability.Classify(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &System{params: p, analysis: a}, nil
+}
+
+// Params returns the model parameters.
+func (s *System) Params() model.Params { return s.params }
+
+// Stability returns the precomputed Theorem 1 analysis.
+func (s *System) Stability() stability.Analysis { return s.analysis }
+
+// Verdict returns the theoretical stability verdict.
+func (s *System) Verdict() stability.Verdict { return s.analysis.Verdict }
+
+// CriticalPiece returns the piece whose missing-piece syndrome binds first
+// (0 in the γ ≤ µ branch, where no piece is rate-limiting).
+func (s *System) CriticalPiece() int { return s.analysis.CriticalPiece }
+
+// OneClubGrowthRate returns the predicted linear growth rate ∆_{F−{k}} of
+// the critical one-club in the transient regime. It errors in the γ ≤ µ
+// branch where ∆ is undefined.
+func (s *System) OneClubGrowthRate() (float64, error) {
+	if s.analysis.GammaLeMu {
+		return 0, errors.New("core: one-club growth undefined for γ ≤ µ")
+	}
+	return stability.OneClubGrowthRate(s.params, s.analysis.CriticalPiece)
+}
+
+// NewSwarm builds a fresh simulator for this system.
+func (s *System) NewSwarm(opts ...sim.Option) (*sim.Swarm, error) {
+	return sim.New(s.params, opts...)
+}
+
+// ExactStationary solves the truncated chain at level nmax and returns the
+// stationary statistics. Only meaningful for stable systems at small K.
+func (s *System) ExactStationary(nmax int) (*markov.StationaryResult, error) {
+	c, err := markov.Build(s.params, nmax)
+	if err != nil {
+		return nil, err
+	}
+	return c.Stationary(0, 0)
+}
+
+// MeanSojournTime converts a mean population into a mean time-in-system via
+// Little's law: E[T] = E[N]/λ_total.
+func (s *System) MeanSojournTime(meanPeers float64) float64 {
+	return meanPeers / s.params.LambdaTotal()
+}
+
+// RunConfig controls an empirical Monte-Carlo classification.
+type RunConfig struct {
+	// Horizon is the simulated time per replica (required, > 0).
+	Horizon float64
+	// PeerCap stops a replica early when the population reaches it
+	// (required, > 0); hitting the cap marks the replica as growing.
+	PeerCap int
+	// Replicas is the number of independent sample paths (default 5).
+	Replicas int
+	// Seed is the base RNG seed; replica i uses Seed + i (default 1).
+	Seed uint64
+	// Policy overrides the piece-selection policy (default random useful).
+	Policy sim.Policy
+	// BurnIn discards this much initial time from occupancy averaging
+	// (default Horizon/5).
+	BurnIn float64
+}
+
+func (c *RunConfig) normalize() error {
+	if !(c.Horizon > 0) || math.IsInf(c.Horizon, 0) {
+		return fmt.Errorf("%w: horizon %v", ErrBadConfig, c.Horizon)
+	}
+	if c.PeerCap <= 0 {
+		return fmt.Errorf("%w: peer cap %d", ErrBadConfig, c.PeerCap)
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Policy == nil {
+		c.Policy = sim.RandomUseful{}
+	}
+	if c.BurnIn <= 0 || c.BurnIn >= c.Horizon {
+		c.BurnIn = c.Horizon / 5
+	}
+	return nil
+}
+
+// Empirical is the Monte-Carlo classification outcome.
+type Empirical struct {
+	// Grew reports whether a majority of replicas grew (hit the peer cap
+	// or ended at least half-way to it).
+	Grew bool
+	// GrowFraction is the fraction of growing replicas.
+	GrowFraction float64
+	// MeanOccupancy averages the post-burn-in time-averaged population
+	// over the replicas that did not grow (NaN if all grew).
+	MeanOccupancy float64
+	// MeanFinalN averages the final population over all replicas.
+	MeanFinalN float64
+	// Replicas echoes the number of sample paths run.
+	Replicas int
+}
+
+// Agrees reports whether the empirical outcome matches a theoretical
+// verdict (growth ⇔ transience). Borderline matches either.
+func (e Empirical) Agrees(v stability.Verdict) bool {
+	switch v {
+	case stability.Transient:
+		return e.Grew
+	case stability.PositiveRecurrent:
+		return !e.Grew
+	default:
+		return true
+	}
+}
+
+// ClassifyEmpirically runs independent replicas and reports whether the
+// population grows — the sample-path counterpart of Theorem 1's dichotomy.
+func (s *System) ClassifyEmpirically(cfg RunConfig) (Empirical, error) {
+	if err := cfg.normalize(); err != nil {
+		return Empirical{}, err
+	}
+	out := Empirical{Replicas: cfg.Replicas}
+	var grew int
+	var occSum float64
+	var occCount int
+	var finalSum float64
+	for i := 0; i < cfg.Replicas; i++ {
+		sw, err := s.NewSwarm(sim.WithSeed(cfg.Seed+uint64(i)), sim.WithPolicy(cfg.Policy))
+		if err != nil {
+			return Empirical{}, err
+		}
+		reason, err := sw.RunUntil(cfg.BurnIn, cfg.PeerCap)
+		if err != nil {
+			return Empirical{}, err
+		}
+		if reason != sim.StopPeers {
+			sw.ResetOccupancy()
+			reason, err = sw.RunUntil(cfg.Horizon, cfg.PeerCap)
+			if err != nil {
+				return Empirical{}, err
+			}
+		}
+		finalSum += float64(sw.N())
+		if reason == sim.StopPeers || sw.N() >= cfg.PeerCap/2 {
+			grew++
+			continue
+		}
+		occSum += sw.MeanPeers()
+		occCount++
+	}
+	out.GrowFraction = float64(grew) / float64(cfg.Replicas)
+	out.Grew = 2*grew > cfg.Replicas
+	out.MeanFinalN = finalSum / float64(cfg.Replicas)
+	if occCount > 0 {
+		out.MeanOccupancy = occSum / float64(occCount)
+	} else {
+		out.MeanOccupancy = math.NaN()
+	}
+	return out, nil
+}

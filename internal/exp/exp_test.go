@@ -1,0 +1,129 @@
+package exp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Artifact == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("e5")
+	if err != nil || e.ID != "E5" {
+		t.Errorf("ByID(e5) = %v, %v", e.ID, err)
+	}
+	if _, err := ByID("E99"); !errors.Is(err, ErrUnknownExperiment) {
+		t.Errorf("unknown id err = %v", err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		ID:      "T",
+		Title:   "demo",
+		Headers: []string{"a", "bb"},
+	}
+	tb.AddRow("x", "y")
+	tb.AddRow("longer", "z")
+	tb.AddNote("n = %d", 3)
+	out := tb.Render()
+	for _, want := range []string{"T — demo", "a", "bb", "longer", "note: n = 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// checkNoDisagreement runs an experiment in quick mode and fails on any
+// DISAGREE verdict cell.
+func checkNoDisagreement(t *testing.T, id string) *Table {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := e.Run(Config{Quick: true, Seed: 42})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	for _, row := range tb.Rows {
+		for _, cell := range row {
+			if cell == "DISAGREE" {
+				t.Errorf("%s row disagrees with theory: %v", id, row)
+			}
+		}
+	}
+	return tb
+}
+
+func TestE1Quick(t *testing.T)  { checkNoDisagreement(t, "E1") }
+func TestE2Quick(t *testing.T)  { checkNoDisagreement(t, "E2") }
+func TestE3Quick(t *testing.T)  { checkNoDisagreement(t, "E3") }
+func TestE4Quick(t *testing.T)  { checkNoDisagreement(t, "E4") }
+func TestE5Quick(t *testing.T)  { checkNoDisagreement(t, "E5") }
+func TestE7Quick(t *testing.T)  { checkNoDisagreement(t, "E7") }
+func TestE8Quick(t *testing.T)  { checkNoDisagreement(t, "E8") }
+func TestE10Quick(t *testing.T) { checkNoDisagreement(t, "E10") }
+func TestE11Quick(t *testing.T) { checkNoDisagreement(t, "E11") }
+func TestE12Quick(t *testing.T) { checkNoDisagreement(t, "E12") }
+
+func TestE6Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E6 runs 16 sweeps")
+	}
+	tb := checkNoDisagreement(t, "E6")
+	// Four cases × four policies.
+	if len(tb.Rows) != 16 {
+		t.Errorf("E6 rows = %d, want 16", len(tb.Rows))
+	}
+}
+
+func TestE9Quick(t *testing.T) {
+	tb := checkNoDisagreement(t, "E9")
+	if len(tb.Rows) != 4 {
+		t.Errorf("E9 rows = %d, want 4", len(tb.Rows))
+	}
+}
+
+func TestConfigKnobs(t *testing.T) {
+	q := Config{Quick: true}
+	if q.pick(1, 2) != 1 || q.pickInt(3, 4) != 3 {
+		t.Error("quick knobs wrong")
+	}
+	f := Config{}
+	if f.pick(1, 2) != 2 || f.pickInt(3, 4) != 4 {
+		t.Error("full knobs wrong")
+	}
+	if f.seed() != 1 || (Config{Seed: 9}).seed() != 9 {
+		t.Error("seed default wrong")
+	}
+}
+
+func TestE13Quick(t *testing.T) {
+	tb := checkNoDisagreement(t, "E13")
+	// Four policies plus the coded variant.
+	if len(tb.Rows) != 5 {
+		t.Errorf("E13 rows = %d, want 5", len(tb.Rows))
+	}
+}
+
+func TestE14Quick(t *testing.T) { checkNoDisagreement(t, "E14") }

@@ -1,0 +1,178 @@
+// Package fluid integrates the mean-field (fluid) approximation of the
+// model: the ODE obtained by replacing the CTMC's jump rates Γ_{C,C'} of
+// equation (1) with deterministic flows. The paper's Section IV heuristics
+// (and the related fluid analysis of Massoulié–Vojnovic [11]) reason in
+// exactly these terms; experiment E5 uses the integrator to corroborate the
+// one-club growth rate alongside the stochastic simulator.
+package fluid
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/pieceset"
+)
+
+// Errors reported by the integrator.
+var (
+	ErrBadStep  = errors.New("fluid: step size must be positive")
+	ErrBadState = errors.New("fluid: state dimension mismatch")
+)
+
+// System is the fluid vector field for a fixed parameter point.
+type System struct {
+	params model.Params
+	full   pieceset.Set
+	dim    int
+}
+
+// New validates parameters and builds the system.
+func New(p model.Params) (*System, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("fluid: %w", err)
+	}
+	return &System{
+		params: p,
+		full:   pieceset.Full(p.K),
+		dim:    1 << uint(p.K),
+	}, nil
+}
+
+// Dim returns the state dimension 2^K (index = type bitmask).
+func (s *System) Dim() int { return s.dim }
+
+// rate returns the continuous-state version of Γ_{C,C∪{i}}.
+func (s *System) rate(x []float64, n float64, c pieceset.Set, i int) float64 {
+	xc := x[int(c)]
+	if xc <= 0 || n <= 0 || c.Has(i) {
+		return 0
+	}
+	r := s.params.Us / float64(s.params.K-c.Size())
+	for idx, xs := range x {
+		if xs <= 0 {
+			continue
+		}
+		set := pieceset.Set(idx)
+		if !set.Has(i) {
+			continue
+		}
+		r += s.params.Mu * xs / float64(set.Minus(c).Size())
+	}
+	return xc / n * r
+}
+
+// Field evaluates dx/dt at x. Coordinates at or below zero contribute no
+// outflow (the boundary behaviour of the fluid limit).
+func (s *System) Field(x []float64) ([]float64, error) {
+	if len(x) != s.dim {
+		return nil, ErrBadState
+	}
+	var n float64
+	for _, v := range x {
+		if v > 0 {
+			n += v
+		}
+	}
+	out := make([]float64, s.dim)
+	// Arrivals.
+	for c, l := range s.params.Lambda {
+		out[int(c)] += l
+	}
+	// Peer-seed departures.
+	if !s.params.GammaInf() && x[int(s.full)] > 0 {
+		out[int(s.full)] -= s.params.Gamma * x[int(s.full)]
+	}
+	// Upload flows.
+	for idx := range x {
+		c := pieceset.Set(idx)
+		if c == s.full || x[idx] <= 0 {
+			continue
+		}
+		for _, i := range c.Complement(s.params.K).Pieces() {
+			r := s.rate(x, n, c, i)
+			if r <= 0 {
+				continue
+			}
+			out[idx] -= r
+			next := c.With(i)
+			if next == s.full && s.params.GammaInf() {
+				continue // completion departs immediately
+			}
+			out[int(next)] += r
+		}
+	}
+	return out, nil
+}
+
+// Point is one sampled point of a fluid trajectory.
+type Point struct {
+	T float64
+	X []float64
+	N float64
+}
+
+// Integrate advances the ODE from x0 with classical RK4 at fixed step dt
+// for the given number of steps, recording every `every` steps (and the
+// final state). Coordinates are clamped at zero after each step.
+func (s *System) Integrate(x0 []float64, dt float64, steps, every int) ([]Point, error) {
+	if dt <= 0 || steps <= 0 {
+		return nil, ErrBadStep
+	}
+	if len(x0) != s.dim {
+		return nil, ErrBadState
+	}
+	if every <= 0 {
+		every = 1
+	}
+	x := make([]float64, s.dim)
+	copy(x, x0)
+	var out []Point
+	record := func(t float64) {
+		cp := make([]float64, s.dim)
+		copy(cp, x)
+		var n float64
+		for _, v := range cp {
+			n += v
+		}
+		out = append(out, Point{T: t, X: cp, N: n})
+	}
+	record(0)
+	for step := 1; step <= steps; step++ {
+		k1, err := s.Field(x)
+		if err != nil {
+			return nil, err
+		}
+		k2, err := s.Field(axpy(x, dt/2, k1))
+		if err != nil {
+			return nil, err
+		}
+		k3, err := s.Field(axpy(x, dt/2, k2))
+		if err != nil {
+			return nil, err
+		}
+		k4, err := s.Field(axpy(x, dt, k3))
+		if err != nil {
+			return nil, err
+		}
+		for i := range x {
+			x[i] += dt / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+			if x[i] < 0 {
+				x[i] = 0
+			}
+		}
+		if step%every == 0 || step == steps {
+			record(float64(step) * dt)
+		}
+	}
+	return out, nil
+}
+
+// axpy returns x + a·y without mutating inputs.
+func axpy(x []float64, a float64, y []float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] + a*y[i]
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package markov
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func TestTransientDistributionAtZero(t *testing.T) {
+	c, err := Build(k1Params(0.8, 1, 1, 2), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := model.NewState(1)
+	d, err := c.TransientDistribution(x0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[0] != 1 {
+		t.Errorf("P(empty at t=0) = %v", d[0])
+	}
+}
+
+func TestTransientDistributionSumsToOne(t *testing.T) {
+	c, err := Build(k1Params(0.8, 1, 1, 2), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range []float64{0.1, 1, 5, 20} {
+		d, err := c.TransientDistribution(model.NewState(1), tm, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, v := range d {
+			if v < -1e-15 {
+				t.Fatalf("negative mass at t=%v", tm)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("t=%v: masses sum to %v", tm, sum)
+		}
+	}
+}
+
+// TestTransientConvergesToStationary: for large t the transient
+// distribution approaches the stationary one.
+func TestTransientConvergesToStationary(t *testing.T) {
+	c, err := Build(k1Params(0.8, 1, 1, 2), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stat, err := c.Stationary(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.TransientDistribution(model.NewState(1), 200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dist float64
+	for i := range d {
+		dist += math.Abs(d[i] - stat.Pi[i])
+	}
+	if dist > 1e-3 {
+		t.Errorf("TV distance to stationary at t=200: %v", dist)
+	}
+}
+
+// TestMeanNAtShortTimes: for small t from empty, E[N_t] ≈ λ·t (arrivals
+// dominate before any service happens).
+func TestMeanNAtShortTimes(t *testing.T) {
+	const lambda = 0.8
+	c, err := Build(k1Params(lambda, 1, 1, 2), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := 0.05
+	mean, err := c.MeanNAt(model.NewState(1), tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-lambda*tm) > 0.1*lambda*tm {
+		t.Errorf("E[N_%v] = %v, want ≈ %v", tm, mean, lambda*tm)
+	}
+}
+
+// TestTransientMatchesSimulator validates the simulator's finite-horizon
+// law: empirical E[N_t] over replicas vs the exact uniformization value.
+func TestTransientMatchesSimulator(t *testing.T) {
+	p := k1Params(0.8, 1, 1, 2)
+	c, err := Build(p, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tm = 3.0
+	exact, err := c.MeanNAt(model.NewState(1), tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const replicas = 4000
+	var sum float64
+	for i := 0; i < replicas; i++ {
+		sw, err := sim.New(p, sim.WithSeed(uint64(i)+999))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// N_t is the state after the last event at or before t, i.e. the
+		// state just before the step whose clock crosses t.
+		prevN := sw.N()
+		for sw.Now() < tm {
+			prevN = sw.N()
+			if err := sw.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sum += float64(prevN)
+	}
+	got := sum / replicas
+	if math.Abs(got-exact) > 0.05*exact+0.05 {
+		t.Errorf("simulated E[N_%v] = %v vs exact %v", tm, got, exact)
+	}
+}
+
+func TestTransientErrors(t *testing.T) {
+	c, err := Build(k1Params(0.8, 1, 1, 2), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.TransientDistribution(model.NewState(1), -1, 0); err == nil {
+		t.Error("negative time accepted")
+	}
+	big := model.NewState(1)
+	big[0] = 99 // outside truncation
+	if _, err := c.TransientDistribution(big, 1, 0); !errors.Is(err, ErrBadInitial) {
+		t.Errorf("out-of-space initial err = %v", err)
+	}
+}

@@ -1,0 +1,287 @@
+// Package peersim is a peer-granular simulator of the same CTMC as
+// internal/sim: it tracks every peer individually, which makes per-peer
+// observables — download times, total sojourn times, uploads contributed —
+// measurable. The paper's model is exchangeable across peers of a type, so
+// the two simulators have identical laws for the type-count process; tests
+// and experiment tables exploit that to cross-validate, and Little's law
+// (E[N] = λ·E[T]) ties the per-peer view back to occupancy.
+//
+// The price of the peer-granular view is O(population) memory; internal/sim
+// remains the tool for instability studies where N diverges.
+package peersim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/pieceset"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// ErrNoProgress reports a zero total event rate.
+var ErrNoProgress = errors.New("peersim: zero total event rate")
+
+// notCompleted marks a peer that has not yet collected all pieces.
+const notCompleted = -1
+
+// peer is one tracked participant.
+type peer struct {
+	set       pieceset.Set
+	arrived   float64
+	completed float64 // notCompleted until the last piece arrives
+	uploads   int
+	seedPos   int // index into seedIdx, or -1
+}
+
+// Option configures the swarm.
+type Option func(*config)
+
+type config struct {
+	seed   uint64
+	policy sim.Policy
+}
+
+// WithSeed sets the RNG seed (default 1).
+func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+
+// WithPolicy sets the piece-selection policy (default random useful).
+func WithPolicy(p sim.Policy) Option { return func(c *config) { c.policy = p } }
+
+// Swarm is a peer-granular sample path of the model.
+type Swarm struct {
+	params model.Params
+	policy sim.Policy
+	r      *rng.RNG
+	full   pieceset.Set
+
+	now     float64
+	peers   []peer
+	seedIdx []int // indices of completed peers (peer seeds)
+	pieces  []int // holders per piece
+
+	arrivalTypes   []pieceset.Set
+	arrivalWeights []float64
+
+	// Departed-peer statistics.
+	downloadTimes dist.Summary // arrival → completion
+	dwellTimes    dist.Summary // completion → departure (γ < ∞ only)
+	sojournTimes  dist.Summary // arrival → departure
+	uploadsMade   dist.Summary // uploads contributed per departed peer
+
+	occupancy dist.TimeAverage
+	departed  int
+}
+
+// New validates parameters and builds a swarm.
+func New(p model.Params, opts ...Option) (*Swarm, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("peersim: %w", err)
+	}
+	cfg := config{seed: 1, policy: sim.RandomUseful{}}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	s := &Swarm{
+		params: p,
+		policy: cfg.policy,
+		r:      rng.New(cfg.seed),
+		full:   pieceset.Full(p.K),
+		pieces: make([]int, p.K),
+	}
+	for _, c := range p.ArrivalTypes() {
+		s.arrivalTypes = append(s.arrivalTypes, c)
+		s.arrivalWeights = append(s.arrivalWeights, p.Lambda[c])
+	}
+	s.occupancy.Observe(0, 0)
+	return s, nil
+}
+
+// Now returns the simulated time.
+func (s *Swarm) Now() float64 { return s.now }
+
+// N returns the population.
+func (s *Swarm) N() int { return len(s.peers) }
+
+// PeerSeeds returns the number of completed peers still in the system.
+func (s *Swarm) PeerSeeds() int { return len(s.seedIdx) }
+
+// Departed returns the number of peers that have left.
+func (s *Swarm) Departed() int { return s.departed }
+
+// Holders returns the number of peers holding the piece.
+func (s *Swarm) Holders(piece int) int {
+	if piece < 1 || piece > s.params.K {
+		return 0
+	}
+	return s.pieces[piece-1]
+}
+
+// MeanPeers returns the time-averaged population.
+func (s *Swarm) MeanPeers() float64 { return s.occupancy.Value() }
+
+// DownloadTimes returns statistics of arrival→completion times over
+// departed peers. (Peers that arrived with the full file contribute zero.)
+func (s *Swarm) DownloadTimes() *dist.Summary { return &s.downloadTimes }
+
+// DwellTimes returns statistics of completion→departure dwell times.
+func (s *Swarm) DwellTimes() *dist.Summary { return &s.dwellTimes }
+
+// SojournTimes returns statistics of total time-in-system of departed
+// peers, the E[T] of Little's law.
+func (s *Swarm) SojournTimes() *dist.Summary { return &s.sojournTimes }
+
+// UploadsPerPeer returns statistics of uploads contributed per departed
+// peer.
+func (s *Swarm) UploadsPerPeer() *dist.Summary { return &s.uploadsMade }
+
+// TypeCounts aggregates the live peers by type, for cross-validation with
+// the type-count simulator.
+func (s *Swarm) TypeCounts() map[pieceset.Set]int {
+	out := make(map[pieceset.Set]int)
+	for i := range s.peers {
+		out[s.peers[i].set]++
+	}
+	return out
+}
+
+// addPeer admits a peer of the given type at the current time.
+func (s *Swarm) addPeer(c pieceset.Set) {
+	p := peer{set: c, arrived: s.now, completed: notCompleted, seedPos: -1}
+	if c == s.full {
+		p.completed = s.now
+		p.seedPos = len(s.seedIdx)
+		s.seedIdx = append(s.seedIdx, len(s.peers))
+	}
+	s.peers = append(s.peers, p)
+	for _, pc := range c.Pieces() {
+		s.pieces[pc-1]++
+	}
+}
+
+// removePeer removes peer i with swap-delete, recording its statistics.
+func (s *Swarm) removePeer(i int) {
+	p := s.peers[i]
+	s.departed++
+	s.sojournTimes.Add(s.now - p.arrived)
+	if p.completed != notCompleted {
+		s.downloadTimes.Add(p.completed - p.arrived)
+		if !s.params.GammaInf() {
+			s.dwellTimes.Add(s.now - p.completed)
+		}
+	}
+	s.uploadsMade.Add(float64(p.uploads))
+	for _, pc := range p.set.Pieces() {
+		s.pieces[pc-1]--
+	}
+	if p.seedPos >= 0 {
+		s.unregisterSeed(p.seedPos)
+	}
+	last := len(s.peers) - 1
+	if i != last {
+		s.peers[i] = s.peers[last]
+		if s.peers[i].seedPos >= 0 {
+			s.seedIdx[s.peers[i].seedPos] = i
+		}
+	}
+	s.peers = s.peers[:last]
+}
+
+// unregisterSeed removes entry pos from seedIdx with swap-delete.
+func (s *Swarm) unregisterSeed(pos int) {
+	last := len(s.seedIdx) - 1
+	if pos != last {
+		s.seedIdx[pos] = s.seedIdx[last]
+		s.peers[s.seedIdx[pos]].seedPos = pos
+	}
+	s.seedIdx = s.seedIdx[:last]
+}
+
+// Step advances one event.
+func (s *Swarm) Step() error {
+	lambdaTotal := s.params.LambdaTotal()
+	n := len(s.peers)
+	seedRate := 0.0
+	if n > 0 {
+		seedRate = s.params.Us
+	}
+	peerRate := s.params.Mu * float64(n)
+	depRate := 0.0
+	if !s.params.GammaInf() {
+		depRate = s.params.Gamma * float64(len(s.seedIdx))
+	}
+	total := lambdaTotal + seedRate + peerRate + depRate
+	if total <= 0 {
+		return ErrNoProgress
+	}
+	s.now += s.r.Exp(total)
+
+	u := s.r.Float64() * total
+	switch {
+	case u < lambdaTotal:
+		if idx, err := s.r.Categorical(s.arrivalWeights); err == nil {
+			s.addPeer(s.arrivalTypes[idx])
+		}
+	case u < lambdaTotal+seedRate:
+		target := s.r.Intn(n)
+		useful := s.peers[target].set.Complement(s.params.K)
+		if !useful.IsEmpty() {
+			s.deliver(target, -1, useful)
+		}
+	case u < lambdaTotal+seedRate+peerRate:
+		uploader := s.r.Intn(n)
+		target := s.r.Intn(n)
+		if uploader != target {
+			useful := s.peers[uploader].set.Minus(s.peers[target].set)
+			if !useful.IsEmpty() {
+				s.deliver(target, uploader, useful)
+			}
+		}
+	default:
+		if len(s.seedIdx) > 0 {
+			s.removePeer(s.seedIdx[s.r.Intn(len(s.seedIdx))])
+		}
+	}
+	s.occupancy.Observe(s.now, float64(len(s.peers)))
+	return nil
+}
+
+// deliver uploads one policy-chosen piece to peer `target`; uploader is the
+// index of the uploading peer or -1 for the fixed seed.
+func (s *Swarm) deliver(target, uploader int, useful pieceset.Set) {
+	piece, err := s.policy.SelectPiece(s.r, useful, s.Holders)
+	if err != nil {
+		return
+	}
+	if uploader >= 0 {
+		s.peers[uploader].uploads++
+	}
+	p := &s.peers[target]
+	p.set = p.set.With(piece)
+	s.pieces[piece-1]++
+	if p.set != s.full {
+		return
+	}
+	p.completed = s.now
+	if s.params.GammaInf() {
+		s.removePeer(target)
+		return
+	}
+	p.seedPos = len(s.seedIdx)
+	s.seedIdx = append(s.seedIdx, target)
+}
+
+// RunUntil advances until the time or population limit fires.
+func (s *Swarm) RunUntil(maxTime float64, maxPeers int) error {
+	for s.now < maxTime {
+		if maxPeers > 0 && len(s.peers) >= maxPeers {
+			return nil
+		}
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

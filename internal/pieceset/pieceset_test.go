@@ -1,0 +1,254 @@
+package pieceset
+
+import (
+	"errors"
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestFull(t *testing.T) {
+	tests := []struct {
+		k    int
+		want Set
+	}{
+		{0, 0},
+		{-3, 0},
+		{1, 0b1},
+		{2, 0b11},
+		{4, 0b1111},
+		{MaxK, Set(1<<MaxK - 1)},
+	}
+	for _, tt := range tests {
+		if got := Full(tt.k); got != tt.want {
+			t.Errorf("Full(%d) = %b, want %b", tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestOfAndHas(t *testing.T) {
+	s, err := Of(1, 3, 4)
+	if err != nil {
+		t.Fatalf("Of: %v", err)
+	}
+	for p := 1; p <= 5; p++ {
+		want := p == 1 || p == 3 || p == 4
+		if s.Has(p) != want {
+			t.Errorf("Has(%d) = %v, want %v", p, s.Has(p), want)
+		}
+	}
+	if s.Has(0) || s.Has(31) {
+		t.Error("Has must be false outside 1..MaxK")
+	}
+}
+
+func TestOfRejectsOutOfRange(t *testing.T) {
+	for _, p := range []int{0, -1, MaxK + 1} {
+		if _, err := Of(p); !errors.Is(err, ErrPieceRange) {
+			t.Errorf("Of(%d) err = %v, want ErrPieceRange", p, err)
+		}
+	}
+}
+
+func TestMustOfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustOf(0) did not panic")
+		}
+	}()
+	MustOf(0)
+}
+
+func TestWithWithout(t *testing.T) {
+	s := MustOf(2)
+	s = s.With(5)
+	if !s.Has(5) || !s.Has(2) || s.Size() != 2 {
+		t.Fatalf("With: got %v", s)
+	}
+	s = s.Without(2)
+	if s.Has(2) || !s.Has(5) || s.Size() != 1 {
+		t.Fatalf("Without: got %v", s)
+	}
+	// Out-of-range p is a no-op.
+	if s.With(0) != s || s.Without(99) != s {
+		t.Error("out-of-range With/Without must be no-ops")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := MustOf(1, 2, 3)
+	b := MustOf(3, 4)
+	if got := a.Union(b); got != MustOf(1, 2, 3, 4) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); got != MustOf(3) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Minus(b); got != MustOf(1, 2) {
+		t.Errorf("Minus = %v", got)
+	}
+	if got := b.Complement(5); got != MustOf(1, 2, 5) {
+		t.Errorf("Complement = %v", got)
+	}
+}
+
+func TestSubsetPredicates(t *testing.T) {
+	a := MustOf(1, 2)
+	b := MustOf(1, 2, 3)
+	if !a.SubsetOf(b) || !a.ProperSubsetOf(b) {
+		t.Error("a ⊂ b expected")
+	}
+	if b.SubsetOf(a) {
+		t.Error("b ⊆ a unexpected")
+	}
+	if !a.SubsetOf(a) || a.ProperSubsetOf(a) {
+		t.Error("reflexivity: a ⊆ a but not properly")
+	}
+	if !b.CanHelp(a) {
+		t.Error("b should help a (has piece 3)")
+	}
+	if a.CanHelp(b) {
+		t.Error("a cannot help b")
+	}
+	if a.CanHelp(a) {
+		t.Error("a cannot help itself")
+	}
+}
+
+func TestPiecesAndNthPiece(t *testing.T) {
+	s := MustOf(2, 5, 9)
+	got := s.Pieces()
+	want := []int{2, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("Pieces = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Pieces = %v, want %v", got, want)
+		}
+		if s.NthPiece(i) != want[i] {
+			t.Errorf("NthPiece(%d) = %d, want %d", i, s.NthPiece(i), want[i])
+		}
+	}
+	if s.NthPiece(-1) != 0 || s.NthPiece(3) != 0 {
+		t.Error("NthPiece out of range must return 0")
+	}
+	if s.LowestPiece() != 2 {
+		t.Errorf("LowestPiece = %d", s.LowestPiece())
+	}
+	if Empty.LowestPiece() != 0 {
+		t.Error("LowestPiece of empty must be 0")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Empty.String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+	if got := MustOf(1, 3, 4).String(); got != "{1,3,4}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestAllEnumerations(t *testing.T) {
+	all := All(3)
+	if len(all) != 8 {
+		t.Fatalf("All(3) len = %d", len(all))
+	}
+	for i, s := range all {
+		if int(s) != i {
+			t.Fatalf("All(3)[%d] = %d", i, s)
+		}
+	}
+	proper := AllProper(3)
+	if len(proper) != 7 || proper[len(proper)-1] == Full(3) {
+		t.Errorf("AllProper(3) = %v", proper)
+	}
+	if got := All(-1); len(got) != 1 || got[0] != Empty {
+		t.Errorf("All(-1) = %v", got)
+	}
+}
+
+func TestSupersetsSubsets(t *testing.T) {
+	s := MustOf(2)
+	sup := Supersets(s, 3)
+	if len(sup) != 4 {
+		t.Fatalf("Supersets len = %d", len(sup))
+	}
+	for _, u := range sup {
+		if !s.SubsetOf(u) {
+			t.Errorf("superset %v does not contain %v", u, s)
+		}
+	}
+	sub := Subsets(MustOf(1, 3))
+	if len(sub) != 4 {
+		t.Fatalf("Subsets len = %d", len(sub))
+	}
+	for _, u := range sub {
+		if !u.SubsetOf(MustOf(1, 3)) {
+			t.Errorf("subset %v not contained", u)
+		}
+	}
+}
+
+// Property: Size agrees with popcount, and Minus/Union/Intersect satisfy the
+// usual identities, for arbitrary masks.
+func TestQuickSetIdentities(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := Set(a), Set(b)
+		if x.Size() != bits.OnesCount32(a) {
+			return false
+		}
+		if x.Minus(y).Intersect(y) != Empty {
+			return false
+		}
+		if x.Minus(y).Union(x.Intersect(y)) != x {
+			return false
+		}
+		if x.Union(y).Size() != x.Size()+y.Size()-x.Intersect(y).Size() {
+			return false
+		}
+		return x.CanHelp(y) == (x.Minus(y) != Empty)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Supersets(s,k) has exactly 2^(k-|s|) elements, all ⊇ s.
+func TestQuickSupersetCount(t *testing.T) {
+	f := func(raw uint16) bool {
+		const k = 10
+		s := Set(raw) & Full(k)
+		sup := Supersets(s, k)
+		if len(sup) != 1<<uint(k-s.Size()) {
+			return false
+		}
+		for _, u := range sup {
+			if !s.SubsetOf(u) || !u.SubsetOf(Full(k)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NthPiece(i) enumerates Pieces() in order.
+func TestQuickNthPiece(t *testing.T) {
+	f := func(raw uint32) bool {
+		s := Set(raw) & Full(MaxK)
+		ps := s.Pieces()
+		for i, p := range ps {
+			if s.NthPiece(i) != p {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

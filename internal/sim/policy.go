@@ -1,0 +1,137 @@
+// Package sim is an exact event-driven simulator for the Zhu–Hajek P2P
+// model. It tracks the continuous-time Markov chain over type counts —
+// the same chain whose generator internal/model enumerates — by sampling
+// exponential event races: arrivals, fixed-seed ticks, peer ticks, and
+// peer-seed departures. Pluggable piece-selection policies cover the
+// Theorem 14 extension (any useful policy), and a fast-recovery variant
+// implements the Section VIII-C clock-speed-up model.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/pieceset"
+	"repro/internal/rng"
+)
+
+// ErrNoUseful reports a policy invoked with an empty useful set; the swarm
+// never does this, so seeing it indicates a harness bug.
+var ErrNoUseful = errors.New("sim: piece selection with empty useful set")
+
+// HolderCount reports how many peers currently hold a piece; policies use
+// it to implement rarest-first and its adversarial opposite.
+type HolderCount func(piece int) int
+
+// Policy chooses which useful piece an uploader transfers. Every policy in
+// this package satisfies the paper's usefulness constraint (family H of
+// Section VIII-A): it always returns an element of the useful set, so by
+// Theorem 14 the stability region is identical across them.
+type Policy interface {
+	// Name identifies the policy in experiment tables.
+	Name() string
+	// SelectPiece returns one piece from useful (which is non-empty).
+	SelectPiece(r *rng.RNG, useful pieceset.Set, holders HolderCount) (int, error)
+}
+
+// RandomUseful is the paper's baseline policy: uniform over the useful set.
+type RandomUseful struct{}
+
+// Name implements Policy.
+func (RandomUseful) Name() string { return "random-useful" }
+
+// SelectPiece implements Policy.
+func (RandomUseful) SelectPiece(r *rng.RNG, useful pieceset.Set, _ HolderCount) (int, error) {
+	size := useful.Size()
+	if size == 0 {
+		return 0, ErrNoUseful
+	}
+	return useful.NthPiece(r.Intn(size)), nil
+}
+
+// RarestFirst picks the useful piece with the fewest holders in the
+// network, breaking ties uniformly — the BitTorrent heuristic.
+type RarestFirst struct{}
+
+// Name implements Policy.
+func (RarestFirst) Name() string { return "rarest-first" }
+
+// SelectPiece implements Policy.
+func (RarestFirst) SelectPiece(r *rng.RNG, useful pieceset.Set, holders HolderCount) (int, error) {
+	return selectByCount(r, useful, holders, true)
+}
+
+// MostCommonFirst picks the useful piece with the most holders — the
+// adversarial opposite of rarest-first, useful for showing that even a bad
+// (but work-conserving) policy has the same stability region.
+type MostCommonFirst struct{}
+
+// Name implements Policy.
+func (MostCommonFirst) Name() string { return "most-common-first" }
+
+// SelectPiece implements Policy.
+func (MostCommonFirst) SelectPiece(r *rng.RNG, useful pieceset.Set, holders HolderCount) (int, error) {
+	return selectByCount(r, useful, holders, false)
+}
+
+// SequentialLowest always transfers the lowest-numbered useful piece — the
+// "in-order streaming" policy mentioned in Section VIII-A's discussion of
+// reachable states.
+type SequentialLowest struct{}
+
+// Name implements Policy.
+func (SequentialLowest) Name() string { return "sequential-lowest" }
+
+// SelectPiece implements Policy.
+func (SequentialLowest) SelectPiece(_ *rng.RNG, useful pieceset.Set, _ HolderCount) (int, error) {
+	p := useful.LowestPiece()
+	if p == 0 {
+		return 0, ErrNoUseful
+	}
+	return p, nil
+}
+
+// selectByCount returns the arg-min (or arg-max) holder-count piece of the
+// useful set, breaking ties uniformly at random.
+func selectByCount(r *rng.RNG, useful pieceset.Set, holders HolderCount, min bool) (int, error) {
+	if useful.IsEmpty() {
+		return 0, ErrNoUseful
+	}
+	if holders == nil {
+		return 0, fmt.Errorf("sim: %s selection needs holder counts",
+			map[bool]string{true: "rarest-first", false: "most-common-first"}[min])
+	}
+	best := 0
+	bestCount := 0
+	ties := 0
+	for m := useful; !m.IsEmpty(); {
+		p := m.LowestPiece()
+		m = m.Without(p)
+		c := holders(p)
+		better := best == 0 || (min && c < bestCount) || (!min && c > bestCount)
+		switch {
+		case better:
+			best, bestCount, ties = p, c, 1
+		case c == bestCount:
+			// Reservoir-sample among ties for a uniform choice.
+			ties++
+			if r.Intn(ties) == 0 {
+				best = p
+			}
+		}
+	}
+	return best, nil
+}
+
+var (
+	_ Policy = RandomUseful{}
+	_ Policy = RarestFirst{}
+	_ Policy = MostCommonFirst{}
+	_ Policy = SequentialLowest{}
+)
+
+// AllPolicies returns one instance of every built-in policy, in a stable
+// order, for the Theorem 14 insensitivity experiment.
+func AllPolicies() []Policy {
+	return []Policy{RandomUseful{}, RarestFirst{}, MostCommonFirst{}, SequentialLowest{}}
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/pieceset"
+	"repro/internal/rng"
+)
+
+func holdersFromSlice(h []int) HolderCount {
+	return func(piece int) int { return h[piece-1] }
+}
+
+func TestRandomUsefulUniform(t *testing.T) {
+	r := rng.New(3)
+	useful := pieceset.MustOf(1, 3, 5)
+	counts := map[int]int{}
+	const draws = 30000
+	for i := 0; i < draws; i++ {
+		p, err := (RandomUseful{}).SelectPiece(r, useful, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[p]++
+	}
+	for _, p := range []int{1, 3, 5} {
+		frac := float64(counts[p]) / draws
+		if frac < 0.30 || frac > 0.37 {
+			t.Errorf("piece %d frequency = %v, want ≈ 1/3", p, frac)
+		}
+	}
+	if counts[2] != 0 || counts[4] != 0 {
+		t.Error("selected a piece outside the useful set")
+	}
+}
+
+func TestRandomUsefulEmpty(t *testing.T) {
+	if _, err := (RandomUseful{}).SelectPiece(rng.New(1), pieceset.Empty, nil); !errors.Is(err, ErrNoUseful) {
+		t.Errorf("err = %v, want ErrNoUseful", err)
+	}
+}
+
+func TestRarestFirstPicksMinimum(t *testing.T) {
+	r := rng.New(5)
+	useful := pieceset.MustOf(1, 2, 3)
+	holders := holdersFromSlice([]int{10, 2, 7})
+	for i := 0; i < 100; i++ {
+		p, err := (RarestFirst{}).SelectPiece(r, useful, holders)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != 2 {
+			t.Fatalf("rarest-first picked %d, want 2", p)
+		}
+	}
+}
+
+func TestRarestFirstBreaksTiesUniformly(t *testing.T) {
+	r := rng.New(7)
+	useful := pieceset.MustOf(1, 2, 3)
+	holders := holdersFromSlice([]int{4, 4, 9})
+	counts := map[int]int{}
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		p, err := (RarestFirst{}).SelectPiece(r, useful, holders)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[p]++
+	}
+	if counts[3] != 0 {
+		t.Error("picked the common piece despite rarer options")
+	}
+	frac := float64(counts[1]) / draws
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("tie-break frequency = %v, want ≈ 0.5", frac)
+	}
+}
+
+func TestMostCommonFirstPicksMaximum(t *testing.T) {
+	r := rng.New(9)
+	useful := pieceset.MustOf(2, 4)
+	holders := holdersFromSlice([]int{0, 3, 0, 11})
+	for i := 0; i < 50; i++ {
+		p, err := (MostCommonFirst{}).SelectPiece(r, useful, holders)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != 4 {
+			t.Fatalf("most-common-first picked %d, want 4", p)
+		}
+	}
+}
+
+func TestSequentialLowest(t *testing.T) {
+	p, err := (SequentialLowest{}).SelectPiece(nil, pieceset.MustOf(3, 5, 7), nil)
+	if err != nil || p != 3 {
+		t.Errorf("got %d, %v; want 3", p, err)
+	}
+	if _, err := (SequentialLowest{}).SelectPiece(nil, pieceset.Empty, nil); !errors.Is(err, ErrNoUseful) {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+func TestCountPoliciesRequireHolders(t *testing.T) {
+	r := rng.New(1)
+	if _, err := (RarestFirst{}).SelectPiece(r, pieceset.MustOf(1), nil); err == nil {
+		t.Error("rarest-first without holders must error")
+	}
+	if _, err := (MostCommonFirst{}).SelectPiece(r, pieceset.MustOf(1), nil); err == nil {
+		t.Error("most-common-first without holders must error")
+	}
+	if _, err := (RarestFirst{}).SelectPiece(r, pieceset.Empty, holdersFromSlice([]int{1})); !errors.Is(err, ErrNoUseful) {
+		t.Error("empty useful must yield ErrNoUseful")
+	}
+}
+
+// TestPoliciesSatisfyUsefulness: every policy always returns a member of
+// the useful set — the family-H constraint behind Theorem 14.
+func TestPoliciesSatisfyUsefulness(t *testing.T) {
+	r := rng.New(11)
+	holders := holdersFromSlice([]int{5, 1, 9, 3, 3, 7, 2, 8})
+	for _, pol := range AllPolicies() {
+		for trial := 0; trial < 500; trial++ {
+			mask := pieceset.Set(r.Intn(255) + 1) // non-empty subset of {1..8}
+			p, err := pol.SelectPiece(r, mask, holders)
+			if err != nil {
+				t.Fatalf("%s: %v", pol.Name(), err)
+			}
+			if !mask.Has(p) {
+				t.Fatalf("%s returned %d outside %v", pol.Name(), p, mask)
+			}
+		}
+	}
+}
+
+func TestAllPoliciesNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range AllPolicies() {
+		if p.Name() == "" || seen[p.Name()] {
+			t.Errorf("policy name %q empty or duplicated", p.Name())
+		}
+		seen[p.Name()] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("expected 4 policies, got %d", len(seen))
+	}
+}

@@ -1,0 +1,328 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/pieceset"
+	"repro/internal/rng"
+)
+
+// RecoverySwarm simulates the Section VIII-C variant of the model: after an
+// unsuccessful contact (no useful piece to transfer) a clock runs faster by
+// a factor η > 1 until its next tick; a successful tick restores the normal
+// rate. The variant is still a CTMC — the state just carries one extra bit
+// per peer ("fast") — and this simulator tracks counts over (type, speed)
+// pairs exactly. η = 1 recovers the original model, which tests exploit.
+type RecoverySwarm struct {
+	params model.Params
+	eta    float64
+	policy Policy
+	r      *rng.RNG
+	full   pieceset.Set
+
+	now      float64
+	n        int
+	counts   map[speedType]int
+	keys     []speedType // sorted; deterministic iteration
+	pieces   []int
+	seedFast bool // fixed seed's clock state
+
+	arrivalTypes   []pieceset.Set
+	arrivalWeights []float64
+
+	stats     Stats
+	occupancy dist.TimeAverage
+}
+
+// speedType is a peer type plus its clock speed state.
+type speedType struct {
+	c    pieceset.Set
+	fast bool
+}
+
+func (a speedType) less(b speedType) bool {
+	if a.c != b.c {
+		return a.c < b.c
+	}
+	return !a.fast && b.fast
+}
+
+// NewRecovery builds a fast-recovery swarm with speed-up factor eta ≥ 1.
+func NewRecovery(p model.Params, eta float64, opts ...Option) (*RecoverySwarm, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if !(eta >= 1) {
+		return nil, errors.New("sim: recovery factor must be >= 1")
+	}
+	cfg := config{seed: 1, policy: RandomUseful{}}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	s := &RecoverySwarm{
+		params: p,
+		eta:    eta,
+		policy: cfg.policy,
+		r:      rng.New(cfg.seed),
+		full:   pieceset.Full(p.K),
+		counts: make(map[speedType]int),
+		pieces: make([]int, p.K),
+	}
+	for _, c := range p.ArrivalTypes() {
+		s.arrivalTypes = append(s.arrivalTypes, c)
+		s.arrivalWeights = append(s.arrivalWeights, p.Lambda[c])
+	}
+	for c, count := range cfg.initial {
+		if count < 0 || !c.SubsetOf(s.full) {
+			return nil, fmt.Errorf("sim: invalid initial peers %v x %d", c, count)
+		}
+		if c == s.full && p.GammaInf() {
+			return nil, errors.New("sim: initial peer seeds impossible when γ = ∞")
+		}
+		for i := 0; i < count; i++ {
+			s.add(speedType{c: c})
+		}
+	}
+	s.occupancy.Observe(0, float64(s.n))
+	return s, nil
+}
+
+// Now returns the simulated time.
+func (s *RecoverySwarm) Now() float64 { return s.now }
+
+// N returns the population.
+func (s *RecoverySwarm) N() int { return s.n }
+
+// MeanPeers returns the time-averaged population.
+func (s *RecoverySwarm) MeanPeers() float64 { return s.occupancy.Value() }
+
+// Stats returns the event counters.
+func (s *RecoverySwarm) Stats() Stats { return s.stats }
+
+// FastPeers returns how many peers currently run sped-up clocks.
+func (s *RecoverySwarm) FastPeers() int {
+	total := 0
+	for k, v := range s.counts {
+		if k.fast {
+			total += v
+		}
+	}
+	return total
+}
+
+// OneClub returns x_{F−{piece}} summed over both speed states.
+func (s *RecoverySwarm) OneClub(piece int) int {
+	if piece < 1 || piece > s.params.K {
+		return 0
+	}
+	c := s.full.Without(piece)
+	return s.counts[speedType{c: c}] + s.counts[speedType{c: c, fast: true}]
+}
+
+// Holders returns the number of peers holding the piece.
+func (s *RecoverySwarm) Holders(piece int) int {
+	if piece < 1 || piece > s.params.K {
+		return 0
+	}
+	return s.pieces[piece-1]
+}
+
+// CountOf returns the peers of a given piece-set type (both speeds).
+func (s *RecoverySwarm) CountOf(c pieceset.Set) int {
+	return s.counts[speedType{c: c}] + s.counts[speedType{c: c, fast: true}]
+}
+
+func (s *RecoverySwarm) add(k speedType) {
+	if s.counts[k] == 0 {
+		idx := sort.Search(len(s.keys), func(i int) bool { return !s.keys[i].less(k) })
+		s.keys = append(s.keys, speedType{})
+		copy(s.keys[idx+1:], s.keys[idx:])
+		s.keys[idx] = k
+	}
+	s.counts[k]++
+	s.n++
+	for _, p := range k.c.Pieces() {
+		s.pieces[p-1]++
+	}
+}
+
+func (s *RecoverySwarm) remove(k speedType) {
+	s.counts[k]--
+	if s.counts[k] == 0 {
+		delete(s.counts, k)
+		idx := sort.Search(len(s.keys), func(i int) bool { return !s.keys[i].less(k) })
+		s.keys = append(s.keys[:idx], s.keys[idx+1:]...)
+	}
+	s.n--
+	for _, p := range k.c.Pieces() {
+		s.pieces[p-1]--
+	}
+}
+
+// tickWeight is a peer group's contact-clock rate.
+func (s *RecoverySwarm) tickWeight(k speedType) float64 {
+	if k.fast {
+		return s.params.Mu * s.eta
+	}
+	return s.params.Mu
+}
+
+// pickUniform returns a uniformly random peer's key (n ≥ 1 required).
+func (s *RecoverySwarm) pickUniform() speedType {
+	target := s.r.Intn(s.n)
+	for _, k := range s.keys {
+		target -= s.counts[k]
+		if target < 0 {
+			return k
+		}
+	}
+	return s.keys[len(s.keys)-1]
+}
+
+// pickByTickRate returns a peer key weighted by clock rate, given the
+// precomputed total tick rate.
+func (s *RecoverySwarm) pickByTickRate(totalTick float64) speedType {
+	u := s.r.Float64() * totalTick
+	for _, k := range s.keys {
+		u -= float64(s.counts[k]) * s.tickWeight(k)
+		if u < 0 {
+			return k
+		}
+	}
+	return s.keys[len(s.keys)-1]
+}
+
+// Step advances one event.
+func (s *RecoverySwarm) Step() error {
+	lambdaTotal := s.params.LambdaTotal()
+	seedRate := 0.0
+	if s.n > 0 {
+		seedRate = s.params.Us
+		if s.seedFast {
+			seedRate *= s.eta
+		}
+	}
+	var peerRate float64
+	for _, k := range s.keys {
+		peerRate += float64(s.counts[k]) * s.tickWeight(k)
+	}
+	depRate := 0.0
+	fullSlow, fullFast := speedType{c: s.full}, speedType{c: s.full, fast: true}
+	if !s.params.GammaInf() {
+		depRate = s.params.Gamma * float64(s.counts[fullSlow]+s.counts[fullFast])
+	}
+	total := lambdaTotal + seedRate + peerRate + depRate
+	if total <= 0 {
+		return ErrNoProgress
+	}
+	s.now += s.r.Exp(total)
+	s.stats.Events++
+
+	u := s.r.Float64() * total
+	switch {
+	case u < lambdaTotal:
+		idx, err := s.r.Categorical(s.arrivalWeights)
+		if err == nil {
+			s.add(speedType{c: s.arrivalTypes[idx]})
+			s.stats.Arrivals++
+		}
+	case u < lambdaTotal+seedRate:
+		s.seedTick()
+	case u < lambdaTotal+seedRate+peerRate:
+		s.peerTick(peerRate)
+	default:
+		// Remove a random peer seed, uniform over both speed states.
+		nSeeds := s.counts[fullSlow] + s.counts[fullFast]
+		if nSeeds > 0 {
+			k := fullSlow
+			if s.r.Intn(nSeeds) >= s.counts[fullSlow] {
+				k = fullFast
+			}
+			s.remove(k)
+			s.stats.Departures++
+		}
+	}
+	s.occupancy.Observe(s.now, float64(s.n))
+	return nil
+}
+
+func (s *RecoverySwarm) seedTick() {
+	target := s.pickUniform()
+	useful := target.c.Complement(s.params.K)
+	if useful.IsEmpty() {
+		s.seedFast = true
+		s.stats.NoOps++
+		return
+	}
+	s.seedFast = false
+	s.upload(target, useful)
+}
+
+func (s *RecoverySwarm) peerTick(totalTick float64) {
+	uploader := s.pickByTickRate(totalTick)
+	target := s.pickUniform()
+	useful := uploader.c.Minus(target.c)
+	if useful.IsEmpty() {
+		// Unsuccessful: the uploader's clock speeds up.
+		if !uploader.fast {
+			s.remove(uploader)
+			s.add(speedType{c: uploader.c, fast: true})
+		}
+		s.stats.NoOps++
+		return
+	}
+	// Successful: the uploader's clock returns to normal speed.
+	if uploader.fast {
+		s.remove(uploader)
+		s.add(speedType{c: uploader.c})
+		if uploader.c == target.c && s.counts[target] == 0 {
+			// The uploader was the only peer left under the target's exact
+			// key; re-read the target from its slow twin.
+			target = speedType{c: target.c}
+		}
+	}
+	s.upload(target, useful)
+}
+
+// upload moves one target peer up a piece, preserving the target's own
+// clock-speed state (its clock did not tick).
+func (s *RecoverySwarm) upload(target speedType, useful pieceset.Set) {
+	piece, err := s.policy.SelectPiece(s.r, useful, s.Holders)
+	if err != nil {
+		s.stats.NoOps++
+		return
+	}
+	if s.counts[target] == 0 {
+		// Defensive: the target key vanished during uploader state churn.
+		alt := speedType{c: target.c, fast: !target.fast}
+		if s.counts[alt] == 0 {
+			return
+		}
+		target = alt
+	}
+	next := target.c.With(piece)
+	s.remove(target)
+	if next == s.full && s.params.GammaInf() {
+		s.stats.Departures++
+	} else {
+		s.add(speedType{c: next, fast: target.fast})
+	}
+	s.stats.Uploads++
+}
+
+// RunUntil advances until time or population limits are hit.
+func (s *RecoverySwarm) RunUntil(maxTime float64, maxPeers int) (StopReason, error) {
+	for s.now < maxTime {
+		if maxPeers > 0 && s.n >= maxPeers {
+			return StopPeers, nil
+		}
+		if err := s.Step(); err != nil {
+			return 0, err
+		}
+	}
+	return StopTime, nil
+}

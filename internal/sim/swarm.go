@@ -1,0 +1,433 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/pieceset"
+	"repro/internal/rng"
+)
+
+// Errors reported by the simulator.
+var (
+	ErrTooManyPieces = errors.New("sim: dense snapshot limited to K <= 16")
+	ErrNoProgress    = errors.New("sim: zero total event rate")
+)
+
+// StopReason explains why RunUntil returned.
+type StopReason int
+
+// Stop reasons.
+const (
+	StopTime  StopReason = iota + 1 // simulated time reached the limit
+	StopPeers                       // population reached the limit
+)
+
+// String names the stop reason.
+func (s StopReason) String() string {
+	switch s {
+	case StopTime:
+		return "time-limit"
+	case StopPeers:
+		return "peer-limit"
+	default:
+		return fmt.Sprintf("stop(%d)", int(s))
+	}
+}
+
+// Stats counts the physical events a swarm has processed.
+type Stats struct {
+	Events     uint64 // total event clock ticks processed
+	Arrivals   uint64 // exogenous peer arrivals
+	Departures uint64 // peers that left (seed dwell expiry or γ=∞ completion)
+	Uploads    uint64 // successful piece transfers (seed or peer uploads)
+	NoOps      uint64 // contacts that found no useful piece
+}
+
+// Option configures a Swarm.
+type Option func(*config)
+
+type config struct {
+	seed    uint64
+	policy  Policy
+	initial map[pieceset.Set]int
+}
+
+// WithSeed sets the deterministic RNG seed (default 1).
+func WithSeed(seed uint64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// WithPolicy sets the piece-selection policy (default RandomUseful).
+func WithPolicy(p Policy) Option {
+	return func(c *config) { c.policy = p }
+}
+
+// WithInitialPeers seeds the swarm with pre-existing peers by type, e.g. a
+// large one-club for missing-piece-syndrome experiments. The map is copied.
+func WithInitialPeers(counts map[pieceset.Set]int) Option {
+	return func(c *config) {
+		c.initial = make(map[pieceset.Set]int, len(counts))
+		for k, v := range counts {
+			c.initial[k] = v
+		}
+	}
+}
+
+// Swarm is one sample path of the model's CTMC, advanced event by event.
+// It tracks peers by type only (the chain is exchangeable across peers of a
+// type), so memory is O(#occupied types) regardless of population.
+type Swarm struct {
+	params model.Params
+	policy Policy
+	r      *rng.RNG
+	full   pieceset.Set
+
+	now    float64
+	n      int
+	counts map[pieceset.Set]int
+	types  []pieceset.Set // sorted keys of counts; deterministic iteration
+	pieces []int          // pieces[i] = holders of piece i+1
+
+	arrivalTypes   []pieceset.Set
+	arrivalWeights []float64
+
+	stats     Stats
+	occupancy dist.TimeAverage
+}
+
+// New validates the parameters and builds a swarm.
+func New(p model.Params, opts ...Option) (*Swarm, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	cfg := config{seed: 1, policy: RandomUseful{}}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	s := &Swarm{
+		params: p,
+		policy: cfg.policy,
+		r:      rng.New(cfg.seed),
+		full:   pieceset.Full(p.K),
+		counts: make(map[pieceset.Set]int),
+		pieces: make([]int, p.K),
+	}
+	for _, c := range p.ArrivalTypes() {
+		s.arrivalTypes = append(s.arrivalTypes, c)
+		s.arrivalWeights = append(s.arrivalWeights, p.Lambda[c])
+	}
+	full := pieceset.Full(p.K)
+	for c, count := range cfg.initial {
+		if count < 0 || !c.SubsetOf(full) {
+			return nil, fmt.Errorf("sim: invalid initial peers %v x %d", c, count)
+		}
+		if count == 0 {
+			continue
+		}
+		if c == full && p.GammaInf() {
+			return nil, errors.New("sim: initial peer seeds impossible when γ = ∞")
+		}
+		s.addPeers(c, count)
+	}
+	s.occupancy.Observe(0, float64(s.n))
+	return s, nil
+}
+
+// Params returns the model parameters of this swarm.
+func (s *Swarm) Params() model.Params { return s.params }
+
+// Policy returns the active piece-selection policy.
+func (s *Swarm) Policy() Policy { return s.policy }
+
+// Now returns the current simulated time.
+func (s *Swarm) Now() float64 { return s.now }
+
+// N returns the current number of peers.
+func (s *Swarm) N() int { return s.n }
+
+// CountOf returns the number of type-c peers.
+func (s *Swarm) CountOf(c pieceset.Set) int { return s.counts[c] }
+
+// PeerSeeds returns x_F, the number of peers holding the full collection.
+func (s *Swarm) PeerSeeds() int { return s.counts[s.full] }
+
+// Holders returns the number of peers holding piece p (0 out of range).
+func (s *Swarm) Holders(piece int) int {
+	if piece < 1 || piece > s.params.K {
+		return 0
+	}
+	return s.pieces[piece-1]
+}
+
+// Missing returns the number of peers missing piece p.
+func (s *Swarm) Missing(piece int) int { return s.n - s.Holders(piece) }
+
+// OneClub returns x_{F−{piece}}: the peers holding everything except the
+// given piece — the "one club" of the missing-piece syndrome.
+func (s *Swarm) OneClub(piece int) int {
+	if piece < 1 || piece > s.params.K {
+		return 0
+	}
+	return s.counts[s.full.Without(piece)]
+}
+
+// Stats returns the event counters so far.
+func (s *Swarm) Stats() Stats { return s.stats }
+
+// MeanPeers returns the time-averaged population since construction (or the
+// last ResetOccupancy), the estimator for E[N].
+func (s *Swarm) MeanPeers() float64 { return s.occupancy.Value() }
+
+// ResetOccupancy restarts the E[N] estimator at the current instant,
+// discarding burn-in.
+func (s *Swarm) ResetOccupancy() {
+	s.occupancy = dist.TimeAverage{}
+	s.occupancy.Observe(s.now, float64(s.n))
+}
+
+// SparseCounts returns a copy of the occupied type counts.
+func (s *Swarm) SparseCounts() map[pieceset.Set]int {
+	out := make(map[pieceset.Set]int, len(s.counts))
+	for c, v := range s.counts {
+		out[c] = v
+	}
+	return out
+}
+
+// Snapshot returns the dense model.State (for the exact solver and the
+// Lyapunov evaluator); it refuses K > 16 where 2^K states stop being dense.
+func (s *Swarm) Snapshot() (model.State, error) {
+	if s.params.K > 16 {
+		return nil, ErrTooManyPieces
+	}
+	st := model.NewState(s.params.K)
+	for c, v := range s.counts {
+		st[int(c)] = v
+	}
+	return st, nil
+}
+
+// addPeers inserts count peers of type c, maintaining indexes.
+func (s *Swarm) addPeers(c pieceset.Set, count int) {
+	if s.counts[c] == 0 {
+		idx := sort.Search(len(s.types), func(i int) bool { return s.types[i] >= c })
+		s.types = append(s.types, 0)
+		copy(s.types[idx+1:], s.types[idx:])
+		s.types[idx] = c
+	}
+	s.counts[c] += count
+	s.n += count
+	for _, p := range c.Pieces() {
+		s.pieces[p-1] += count
+	}
+}
+
+// removePeer removes one peer of type c, maintaining indexes.
+func (s *Swarm) removePeer(c pieceset.Set) {
+	s.counts[c]--
+	if s.counts[c] == 0 {
+		delete(s.counts, c)
+		idx := sort.Search(len(s.types), func(i int) bool { return s.types[i] >= c })
+		s.types = append(s.types[:idx], s.types[idx+1:]...)
+	}
+	s.n--
+	for _, p := range c.Pieces() {
+		s.pieces[p-1]--
+	}
+}
+
+// pickPeerType returns the type of a uniformly random peer. It must only be
+// called with n ≥ 1.
+func (s *Swarm) pickPeerType() pieceset.Set {
+	target := s.r.Intn(s.n)
+	for _, c := range s.types {
+		target -= s.counts[c]
+		if target < 0 {
+			return c
+		}
+	}
+	// Unreachable while counts sum to n; return the last type defensively.
+	return s.types[len(s.types)-1]
+}
+
+// Step advances the chain by exactly one event (which may be a no-op
+// contact). Time always advances.
+func (s *Swarm) Step() error {
+	lambdaTotal := s.params.LambdaTotal()
+	seedRate := 0.0
+	if s.n > 0 {
+		seedRate = s.params.Us
+	}
+	peerRate := s.params.Mu * float64(s.n)
+	depRate := 0.0
+	if !s.params.GammaInf() {
+		depRate = s.params.Gamma * float64(s.counts[s.full])
+	}
+	total := lambdaTotal + seedRate + peerRate + depRate
+	if total <= 0 {
+		return ErrNoProgress
+	}
+	s.now += s.r.Exp(total)
+	s.stats.Events++
+
+	u := s.r.Float64() * total
+	switch {
+	case u < lambdaTotal:
+		s.stepArrival()
+	case u < lambdaTotal+seedRate:
+		s.stepSeedTick()
+	case u < lambdaTotal+seedRate+peerRate:
+		s.stepPeerTick()
+	default:
+		s.stepSeedDeparture()
+	}
+	s.occupancy.Observe(s.now, float64(s.n))
+	return nil
+}
+
+// stepArrival admits one new peer with type drawn from the λ weights.
+func (s *Swarm) stepArrival() {
+	idx, err := s.r.Categorical(s.arrivalWeights)
+	if err != nil {
+		return // validated params guarantee positive total weight
+	}
+	s.addPeers(s.arrivalTypes[idx], 1)
+	s.stats.Arrivals++
+}
+
+// stepSeedTick lets the fixed seed contact a uniform peer and upload one
+// useful piece chosen by the policy.
+func (s *Swarm) stepSeedTick() {
+	target := s.pickPeerType()
+	useful := target.Complement(s.params.K)
+	if useful.IsEmpty() {
+		s.stats.NoOps++ // contacted a peer seed
+		return
+	}
+	s.transfer(target, useful)
+}
+
+// stepPeerTick lets a uniform peer contact another uniform peer.
+func (s *Swarm) stepPeerTick() {
+	uploader := s.pickPeerType()
+	target := s.pickPeerType()
+	useful := uploader.Minus(target)
+	if useful.IsEmpty() {
+		s.stats.NoOps++
+		return
+	}
+	s.transfer(target, useful)
+}
+
+// transfer moves one target-type peer up by one policy-chosen piece,
+// handling γ = ∞ instant departures.
+func (s *Swarm) transfer(target, useful pieceset.Set) {
+	piece, err := s.policy.SelectPiece(s.r, useful, s.Holders)
+	if err != nil {
+		s.stats.NoOps++ // defensive: policies never fail on non-empty sets
+		return
+	}
+	next := target.With(piece)
+	s.removePeer(target)
+	if next == s.full && s.params.GammaInf() {
+		s.stats.Departures++
+	} else {
+		s.addPeers(next, 1)
+	}
+	s.stats.Uploads++
+}
+
+// stepSeedDeparture removes one peer seed (γ < ∞ only).
+func (s *Swarm) stepSeedDeparture() {
+	if s.counts[s.full] == 0 {
+		return // rate was zero; unreachable
+	}
+	s.removePeer(s.full)
+	s.stats.Departures++
+}
+
+// RunUntil advances the swarm until simulated time reaches maxTime or the
+// population reaches maxPeers (whichever first) and reports which limit
+// fired. maxPeers <= 0 disables the population limit.
+func (s *Swarm) RunUntil(maxTime float64, maxPeers int) (StopReason, error) {
+	for s.now < maxTime {
+		if maxPeers > 0 && s.n >= maxPeers {
+			return StopPeers, nil
+		}
+		if err := s.Step(); err != nil {
+			return 0, err
+		}
+	}
+	return StopTime, nil
+}
+
+// TracePoint is one sampled observation of a swarm trajectory.
+type TracePoint struct {
+	T       float64
+	N       int
+	Seeds   int
+	OneClub int // size of the one-club for the traced piece
+	Missing int // peers missing the traced piece
+}
+
+// Trace runs until maxTime, sampling the population every interval time
+// units, tracking the one-club of the given piece. It stops early (without
+// error) if the population reaches maxPeers > 0.
+func (s *Swarm) Trace(maxTime, interval float64, piece, maxPeers int) ([]TracePoint, error) {
+	if interval <= 0 {
+		return nil, errors.New("sim: trace interval must be positive")
+	}
+	var out []TracePoint
+	next := s.now
+	for s.now < maxTime {
+		for s.now >= next {
+			out = append(out, s.sample(next, piece))
+			next += interval
+		}
+		if maxPeers > 0 && s.n >= maxPeers {
+			break
+		}
+		if err := s.Step(); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+func (s *Swarm) sample(t float64, piece int) TracePoint {
+	return TracePoint{
+		T:       t,
+		N:       s.n,
+		Seeds:   s.PeerSeeds(),
+		OneClub: s.OneClub(piece),
+		Missing: s.Missing(piece),
+	}
+}
+
+// Rates reports the current aggregate event rates of the four exponential
+// races; diagnostics and tests use it to compare against the generator.
+type Rates struct {
+	Arrival   float64 // λ_total
+	Seed      float64 // U_s when peers are present
+	Peer      float64 // µ·n (includes contacts that will be no-ops)
+	Departure float64 // γ·x_F (0 when γ = ∞)
+	Total     float64
+}
+
+// CurrentRates returns the event rates at the current state.
+func (s *Swarm) CurrentRates() Rates {
+	r := Rates{Arrival: s.params.LambdaTotal()}
+	if s.n > 0 {
+		r.Seed = s.params.Us
+	}
+	r.Peer = s.params.Mu * float64(s.n)
+	if !s.params.GammaInf() {
+		r.Departure = s.params.Gamma * float64(s.counts[s.full])
+	}
+	r.Total = r.Arrival + r.Seed + r.Peer + r.Departure
+	return r
+}

@@ -1,0 +1,147 @@
+package stability
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/pieceset"
+)
+
+// ErrNoBoundary reports a ray that never crosses the stability boundary.
+var ErrNoBoundary = errors.New("stability: ray does not cross the boundary")
+
+// CriticalScale finds, by bisection, the factor s* such that scaling every
+// arrival rate by s crosses the Theorem 1 stability boundary: the system is
+// positive recurrent for s < s* and transient for s > s*. It requires the
+// µ < γ branch (in the γ ≤ µ branch no finite scaling destabilizes the
+// system, reported as ErrNoBoundary with s* = +Inf).
+//
+// The boundary along this ray is available in closed form for fixed-shape
+// arrival vectors only when no arrivals carry pieces; CriticalScale handles
+// the general case, where scaled gifted arrivals raise the thresholds too.
+func CriticalScale(p model.Params) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, fmt.Errorf("stability: %w", err)
+	}
+	if !p.GammaInf() && p.Gamma <= p.Mu {
+		return math.Inf(1), fmt.Errorf("%w: γ ≤ µ", ErrNoBoundary)
+	}
+	classify := func(s float64) (Verdict, error) {
+		a, err := Classify(scaleArrivals(p, s))
+		if err != nil {
+			return 0, err
+		}
+		return a.Verdict, nil
+	}
+	// Bracket the boundary: find a transient upper scale.
+	lo, hi := 0.0, 1.0
+	for iter := 0; ; iter++ {
+		v, err := classify(hi)
+		if err != nil {
+			return 0, err
+		}
+		if v == Transient {
+			break
+		}
+		lo = hi
+		hi *= 2
+		if iter > 200 {
+			// Gifted arrivals can raise thresholds as fast as λ_total
+			// grows, leaving the whole ray stable.
+			return math.Inf(1), ErrNoBoundary
+		}
+	}
+	// Bisect to the crossing.
+	for iter := 0; iter < 200 && hi-lo > 1e-12*(1+hi); iter++ {
+		mid := (lo + hi) / 2
+		v, err := classify(mid)
+		if err != nil {
+			return 0, err
+		}
+		if v == Transient {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// scaleArrivals returns a copy of p with every λ_C multiplied by s.
+func scaleArrivals(p model.Params, s float64) model.Params {
+	out := p
+	out.Lambda = make(map[pieceset.Set]float64, len(p.Lambda))
+	for c, l := range p.Lambda {
+		out.Lambda[c] = l * s
+	}
+	return out
+}
+
+// CriticalGamma finds, by bisection on 1/γ, the largest γ* (smallest mean
+// dwell time 1/γ*) for which the system is still positive recurrent, with
+// all other parameters fixed. It returns +Inf when even instant departures
+// (γ = ∞) keep the system stable, and an error when no finite dwelling
+// stabilizes it beyond γ ≤ µ (where stability always holds if pieces can
+// enter, making γ* = µ the answer).
+func CriticalGamma(p model.Params) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, fmt.Errorf("stability: %w", err)
+	}
+	verdictAt := func(gamma float64) (Verdict, error) {
+		q := p
+		q.Gamma = gamma
+		if math.IsInf(gamma, 1) && q.Lambda[pieceset.Full(q.K)] > 0 {
+			// λ_F > 0 is incompatible with γ = ∞; treat as transient probe.
+			return Transient, nil
+		}
+		a, err := Classify(q)
+		if err != nil {
+			return 0, err
+		}
+		return a.Verdict, nil
+	}
+	// Stable at γ = ∞? Then any dwelling works.
+	v, err := verdictAt(math.Inf(1))
+	if err != nil {
+		return 0, err
+	}
+	if v == PositiveRecurrent {
+		return math.Inf(1), nil
+	}
+	// γ slightly above µ is the largest-γ regime that can still be stable
+	// through the (3) thresholds; γ ≤ µ is unconditionally stable when
+	// pieces can enter. Bisect γ ∈ (µ, hi).
+	if !p.AllPiecesCanEnter() {
+		return 0, errors.New("stability: some piece can never enter; no γ stabilizes")
+	}
+	lo, hi := p.Mu, p.Mu*2
+	for iter := 0; ; iter++ {
+		vv, err := verdictAt(hi)
+		if err != nil {
+			return 0, err
+		}
+		if vv == Transient {
+			break
+		}
+		lo = hi
+		hi *= 2
+		if iter > 200 {
+			return math.Inf(1), nil
+		}
+	}
+	for iter := 0; iter < 200 && hi-lo > 1e-12*(1+hi); iter++ {
+		mid := (lo + hi) / 2
+		vv, err := verdictAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if vv == Transient {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}

@@ -1,0 +1,172 @@
+package stability
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/pieceset"
+)
+
+// TestCriticalScaleExample1: for K=1 empty arrivals, the boundary is at
+// λ0 = U_s/(1−µ/γ), so the critical scale from λ0 = 1 is exactly that
+// threshold.
+func TestCriticalScaleExample1(t *testing.T) {
+	p := model.Params{
+		K: 1, Us: 1, Mu: 1, Gamma: 2,
+		Lambda: map[pieceset.Set]float64{pieceset.Empty: 1},
+	}
+	s, err := CriticalScale(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-2) > 1e-9 {
+		t.Errorf("critical scale = %v, want 2", s)
+	}
+}
+
+// TestCriticalScaleExample2: scaling both streams together never crosses
+// the boundary when the shape is inside the cone (thresholds scale too).
+func TestCriticalScaleExample2Ray(t *testing.T) {
+	p := model.Params{
+		K: 4, Us: 0, Mu: 1, Gamma: math.Inf(1),
+		Lambda: map[pieceset.Set]float64{
+			pieceset.MustOf(1, 2): 1,
+			pieceset.MustOf(3, 4): 1,
+		},
+	}
+	if _, err := CriticalScale(p); !errors.Is(err, ErrNoBoundary) {
+		t.Errorf("scale-invariant stable ray err = %v", err)
+	}
+	// An unstable shape is transient at every positive scale, so the
+	// boundary sits at 0 and bisection reports ≈ 0.
+	p.Lambda[pieceset.MustOf(1, 2)] = 5
+	s, err := CriticalScale(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s > 1e-6 {
+		t.Errorf("scale for always-transient shape = %v, want ≈ 0", s)
+	}
+}
+
+func TestCriticalScaleGammaLeMu(t *testing.T) {
+	p := model.Params{
+		K: 2, Us: 1, Mu: 1, Gamma: 0.5,
+		Lambda: map[pieceset.Set]float64{pieceset.Empty: 1},
+	}
+	s, err := CriticalScale(p)
+	if !errors.Is(err, ErrNoBoundary) || !math.IsInf(s, 1) {
+		t.Errorf("γ ≤ µ: scale = %v, err = %v", s, err)
+	}
+	if _, err := CriticalScale(model.Params{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+// TestCriticalScaleMixedGifted: gifted arrivals raise the thresholds with
+// the scale; verify the found boundary is exactly borderline.
+func TestCriticalScaleMixedGifted(t *testing.T) {
+	p := model.Params{
+		K: 2, Us: 1, Mu: 1, Gamma: 4,
+		Lambda: map[pieceset.Set]float64{
+			pieceset.Empty:     1,
+			pieceset.MustOf(1): 0.3,
+		},
+	}
+	s, err := CriticalScale(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := p
+	scaled.Lambda = map[pieceset.Set]float64{
+		pieceset.Empty:     s,
+		pieceset.MustOf(1): 0.3 * s,
+	}
+	a, err := Classify(scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Margin) > 1e-6*(1+s) {
+		t.Errorf("margin at critical scale = %v, want ≈ 0", a.Margin)
+	}
+}
+
+// TestCriticalGammaExample1: λ0 = 2·U_s needs 1−µ/γ ≤ U_s/λ0 = 1/2, i.e.
+// γ* = 2µ.
+func TestCriticalGammaExample1(t *testing.T) {
+	p := model.Params{
+		K: 1, Us: 1, Mu: 1, Gamma: 1.5, // current γ irrelevant to the search
+		Lambda: map[pieceset.Set]float64{pieceset.Empty: 2},
+	}
+	g, err := CriticalGamma(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-2) > 1e-9 {
+		t.Errorf("critical γ = %v, want 2", g)
+	}
+}
+
+// TestCriticalGammaAlwaysStable: λ0 below U_s stays stable even at γ = ∞.
+func TestCriticalGammaAlwaysStable(t *testing.T) {
+	p := model.Params{
+		K: 1, Us: 2, Mu: 1, Gamma: 3,
+		Lambda: map[pieceset.Set]float64{pieceset.Empty: 1},
+	}
+	g, err := CriticalGamma(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(g, 1) {
+		t.Errorf("critical γ = %v, want +Inf", g)
+	}
+}
+
+func TestCriticalGammaBlockedPiece(t *testing.T) {
+	p := model.Params{
+		K: 2, Us: 0, Mu: 1, Gamma: 2,
+		Lambda: map[pieceset.Set]float64{pieceset.MustOf(1): 1},
+	}
+	if _, err := CriticalGamma(p); err == nil {
+		t.Error("blocked piece must make CriticalGamma error")
+	}
+	if _, err := CriticalGamma(model.Params{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+// TestCriticalGammaConsistent: just inside/outside the found γ* the
+// verdicts flip as promised.
+func TestCriticalGammaConsistent(t *testing.T) {
+	p := model.Params{
+		K: 3, Us: 0.5, Mu: 1, Gamma: 2,
+		Lambda: map[pieceset.Set]float64{pieceset.Empty: 3},
+	}
+	g, err := CriticalGamma(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(g, 1) {
+		t.Fatal("expected a finite critical γ")
+	}
+	inside := p
+	inside.Gamma = g * 0.99
+	outside := p
+	outside.Gamma = g * 1.01
+	ai, err := Classify(inside)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ao, err := Classify(outside)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ai.Verdict != PositiveRecurrent {
+		t.Errorf("just-inside verdict = %v", ai.Verdict)
+	}
+	if ao.Verdict != Transient {
+		t.Errorf("just-outside verdict = %v", ao.Verdict)
+	}
+}

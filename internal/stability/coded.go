@@ -1,0 +1,210 @@
+package stability
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/gf"
+)
+
+// CodedArrival is one Poisson arrival stream of the network-coded model:
+// peers arrive holding coded pieces spanning subspace V at rate Rate.
+type CodedArrival struct {
+	V    *gf.Subspace
+	Rate float64
+}
+
+// CodedParams parameterizes the network-coded system of Theorem 15: random
+// linear network coding over F_q^K with random peer contacts.
+type CodedParams struct {
+	K        int
+	Field    *gf.Field
+	Us       float64
+	Mu       float64
+	Gamma    float64 // may be +Inf
+	Arrivals []CodedArrival
+}
+
+// GammaInf reports the γ = ∞ regime.
+func (p CodedParams) GammaInf() bool { return math.IsInf(p.Gamma, 1) }
+
+// Validate checks the coded parameter constraints.
+func (p CodedParams) Validate() error {
+	if p.Field == nil {
+		return errors.New("stability: coded params need a field")
+	}
+	if p.K < 1 {
+		return errors.New("stability: coded params need K >= 1")
+	}
+	if !(p.Mu > 0) || math.IsInf(p.Mu, 0) {
+		return errors.New("stability: coded params need finite µ > 0")
+	}
+	if !(p.Gamma > 0) {
+		return errors.New("stability: coded params need γ > 0")
+	}
+	if p.Us < 0 || math.IsNaN(p.Us) {
+		return errors.New("stability: coded params need U_s >= 0")
+	}
+	var total float64
+	for _, a := range p.Arrivals {
+		if a.V == nil || a.V.Ambient() != p.K {
+			return errors.New("stability: arrival subspace has wrong ambient dimension")
+		}
+		if a.Rate < 0 || math.IsNaN(a.Rate) || math.IsInf(a.Rate, 0) {
+			return errors.New("stability: arrival rate must be finite and non-negative")
+		}
+		if p.GammaInf() && a.V.IsFull() && a.Rate > 0 {
+			return errors.New("stability: λ for the full subspace must be 0 when γ = ∞")
+		}
+		total += a.Rate
+	}
+	if total <= 0 {
+		return errors.New("stability: coded params need positive total arrival rate")
+	}
+	return nil
+}
+
+// LambdaTotal returns the total coded arrival rate.
+func (p CodedParams) LambdaTotal() float64 {
+	var total float64
+	for _, a := range p.Arrivals {
+		total += a.Rate
+	}
+	return total
+}
+
+// MuTilde returns µ̃ = (1 − 1/q)·µ, the effective useful-transfer rate of a
+// coded peer (a uniformly random combination fails to be innovative with
+// probability at most 1/q).
+func (p CodedParams) MuTilde() float64 {
+	q := float64(p.Field.Order())
+	return (1 - 1/q) * p.Mu
+}
+
+// CodedAnalysis reports the Theorem 15 classification. Because the coded
+// theorem's necessary and sufficient conditions do not meet (they differ by
+// O(1/q) factors), a point may satisfy neither; such points are
+// Indeterminate = true with Verdict Borderline.
+type CodedAnalysis struct {
+	Verdict       Verdict
+	Indeterminate bool
+	// TransientBound is the smallest hyperplane bound of part (a); λ_total
+	// above it proves transience.
+	TransientBound float64
+	// RecurrentBound is the smallest hyperplane bound of part (b); λ_total
+	// below it proves positive recurrence.
+	RecurrentBound float64
+}
+
+// ClassifyCoded evaluates Theorem 15 by enumerating every hyperplane
+// V⁻ ⊂ F_q^K. The hyperplane count is (q^K−1)/(q−1), so callers keep q and
+// K small; the closed-form gifted-fraction thresholds below cover the
+// paper's large-parameter example.
+func ClassifyCoded(p CodedParams) (CodedAnalysis, error) {
+	if err := p.Validate(); err != nil {
+		return CodedAnalysis{}, fmt.Errorf("classify coded: %w", err)
+	}
+	q := float64(p.Field.Order())
+	muT := p.MuTilde()
+	lambdaTotal := p.LambdaTotal()
+
+	// Part (a), second bullet: 0 < γ ≤ µ with U_s = 0 and arrival subspaces
+	// that do not span F_q^K — coded pieces outside the span never appear.
+	if !p.GammaInf() && p.Gamma <= p.Mu && p.Us == 0 && !p.arrivalsSpan() {
+		return CodedAnalysis{Verdict: Transient, TransientBound: math.Inf(-1)}, nil
+	}
+	// Part (b), second bullet: 0 < γ ≤ µ̃ and pieces can enter ⇒ recurrent.
+	if !p.GammaInf() && p.Gamma <= muT {
+		return CodedAnalysis{
+			Verdict:        PositiveRecurrent,
+			TransientBound: math.Inf(1),
+			RecurrentBound: math.Inf(1),
+		}, nil
+	}
+
+	hyperplanes, err := gf.Hyperplanes(p.Field, p.K)
+	if err != nil {
+		return CodedAnalysis{}, err
+	}
+	transBound := math.Inf(1) // part (a): transient if λ_total > this
+	recBound := math.Inf(1)   // part (b): recurrent if λ_total < this
+	ratioMu := 0.0
+	ratioMuT := 0.0
+	if !p.GammaInf() {
+		ratioMu = p.Mu / p.Gamma
+		ratioMuT = muT / p.Gamma
+	}
+	for _, h := range hyperplanes {
+		var sumA, sumB float64
+		for _, a := range p.Arrivals {
+			if a.Rate <= 0 {
+				continue
+			}
+			sub, err := a.V.SubsetOf(h)
+			if err != nil {
+				return CodedAnalysis{}, err
+			}
+			if sub {
+				continue
+			}
+			d := float64(a.V.Dim())
+			sumA += a.Rate * (float64(p.K) - d + 1)
+			sumB += a.Rate * (float64(p.K) - d + q/(q-1))
+		}
+		if p.Mu < p.Gamma || p.GammaInf() {
+			tb := (p.Us + sumA) / (1 - ratioMu)
+			if tb < transBound {
+				transBound = tb
+			}
+		}
+		rb := (p.Us + sumB) * (1 - 1/q) / (1 - ratioMuT)
+		if rb < recBound {
+			recBound = rb
+		}
+	}
+
+	out := CodedAnalysis{TransientBound: transBound, RecurrentBound: recBound}
+	switch {
+	case lambdaTotal > transBound+tolerance:
+		out.Verdict = Transient
+	case lambdaTotal < recBound-tolerance:
+		out.Verdict = PositiveRecurrent
+	default:
+		out.Verdict = Borderline
+		out.Indeterminate = true
+	}
+	return out, nil
+}
+
+// arrivalsSpan reports whether the positive-rate arrival subspaces together
+// span F_q^K.
+func (p CodedParams) arrivalsSpan() bool {
+	span := gf.ZeroSubspace(p.Field, p.K)
+	for _, a := range p.Arrivals {
+		if a.Rate <= 0 {
+			continue
+		}
+		s, err := span.Sum(a.V)
+		if err != nil {
+			return false
+		}
+		span = s
+	}
+	return span.IsFull()
+}
+
+// GiftedTransientThreshold returns the paper's closed-form bound for the
+// gifted-fraction example (U_s = 0, γ = ∞, empty arrivals at rate λ0 and
+// one uniformly random coded piece at rate λ1): the chain is transient when
+// the gifted fraction f = λ1/(λ0+λ1) is below q/((q−1)·K).
+func GiftedTransientThreshold(q, k int) float64 {
+	return float64(q) / (float64(q-1) * float64(k))
+}
+
+// GiftedRecurrentThreshold returns the companion closed form: positive
+// recurrent when f exceeds q²/((q−1)²·K).
+func GiftedRecurrentThreshold(q, k int) float64 {
+	qq := float64(q)
+	return qq * qq / ((qq - 1) * (qq - 1) * float64(k))
+}

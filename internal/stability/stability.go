@@ -1,0 +1,222 @@
+// Package stability computes the exact stability region of the Zhu–Hajek
+// P2P model: Theorem 1 (both the per-piece threshold form (2)/(3) and the
+// equivalent ∆_S form (4)), the corollary that γ ≤ µ stabilizes the system
+// whenever every piece can enter, and the network-coding variant of
+// Theorem 15 including the gifted-fraction thresholds quoted in the paper's
+// q = 64, K = 200 example.
+package stability
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/pieceset"
+)
+
+// Verdict classifies a parameter point within the stability region.
+type Verdict int
+
+// Verdicts. Borderline marks points where Theorem 1 is silent (equality in
+// (3) for the critical piece); Section VIII-D studies that regime.
+const (
+	PositiveRecurrent Verdict = iota + 1
+	Transient
+	Borderline
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case PositiveRecurrent:
+		return "positive-recurrent"
+	case Transient:
+		return "transient"
+	case Borderline:
+		return "borderline"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// tolerance below which a threshold comparison is declared borderline. The
+// theorem itself is sharp; the tolerance only absorbs floating-point error.
+const tolerance = 1e-9
+
+// Analysis is the result of classifying a parameter point under Theorem 1.
+type Analysis struct {
+	Verdict Verdict
+	// GammaLeMu reports which branch of Theorem 1 applied: true means the
+	// 0 < γ ≤ µ branch (stability governed by piece entry alone).
+	GammaLeMu bool
+	// Thresholds holds, for the µ < γ branch, the right-hand side of (3)
+	// for each piece k: the critical total arrival rate for piece k.
+	Thresholds map[int]float64
+	// CriticalPiece is the piece with the smallest threshold, i.e. the one
+	// whose missing-piece syndrome binds first (0 in the γ ≤ µ branch).
+	CriticalPiece int
+	// Margin is min_k Threshold_k − λ_total in the µ < γ branch: positive
+	// inside the stable region, negative inside the transient region. In
+	// the γ ≤ µ branch it is +Inf when stable and −Inf when transient.
+	Margin float64
+	// BlockedPiece is a piece that can never enter the system (γ ≤ µ
+	// transient case); 0 otherwise.
+	BlockedPiece int
+}
+
+// Classify evaluates Theorem 1 at the given parameters.
+func Classify(p model.Params) (Analysis, error) {
+	if err := p.Validate(); err != nil {
+		return Analysis{}, fmt.Errorf("classify: %w", err)
+	}
+	if !p.GammaInf() && p.Gamma <= p.Mu {
+		// Branch 0 < γ ≤ µ: stability ⇔ every piece can enter.
+		a := Analysis{GammaLeMu: true}
+		for k := 1; k <= p.K; k++ {
+			if !p.CanPieceEnter(k) {
+				a.Verdict = Transient
+				a.BlockedPiece = k
+				a.Margin = math.Inf(-1)
+				return a, nil
+			}
+		}
+		a.Verdict = PositiveRecurrent
+		a.Margin = math.Inf(1)
+		return a, nil
+	}
+
+	// Branch 0 < µ < γ ≤ ∞: per-piece thresholds (3).
+	a := Analysis{Thresholds: make(map[int]float64, p.K)}
+	lambdaTotal := p.LambdaTotal()
+	minThresh := math.Inf(1)
+	for k := 1; k <= p.K; k++ {
+		th := ThresholdFor(p, k)
+		a.Thresholds[k] = th
+		if th < minThresh {
+			minThresh = th
+			a.CriticalPiece = k
+		}
+	}
+	a.Margin = minThresh - lambdaTotal
+	switch {
+	case a.Margin > tolerance:
+		a.Verdict = PositiveRecurrent
+	case a.Margin < -tolerance:
+		a.Verdict = Transient
+	default:
+		a.Verdict = Borderline
+	}
+	return a, nil
+}
+
+// ThresholdFor returns the right-hand side of condition (3) for piece k:
+//
+//	(U_s + Σ_{C∋k} λ_C·(K+1−|C|)) / (1 − µ/γ)
+//
+// the critical λ_total at which piece k's missing-piece syndrome appears.
+// It requires the µ < γ branch; in the γ ≤ µ branch the notion does not
+// apply and +Inf is returned (the system is never rate-limited there).
+func ThresholdFor(p model.Params, k int) float64 {
+	ratio := muOverGamma(p)
+	if ratio >= 1 {
+		return math.Inf(1)
+	}
+	sum := p.Us
+	for c, l := range p.Lambda {
+		if l > 0 && c.Has(k) {
+			sum += l * float64(p.K+1-c.Size())
+		}
+	}
+	return sum / (1 - ratio)
+}
+
+// muOverGamma returns µ/γ with the γ = ∞ convention µ/∞ = 0.
+func muOverGamma(p model.Params) float64 {
+	if p.GammaInf() {
+		return 0
+	}
+	return p.Mu / p.Gamma
+}
+
+// DeltaS evaluates ∆_S of equation (4) for a proper subset S ⊂ F:
+//
+//	∆_S = Σ_{C⊆S} λ_C − (U_s + Σ_{C⊄S} λ_C·(K−|C|+µ/γ)) / (1−µ/γ)
+//
+// The stability condition (3) holding for all k is equivalent to ∆_S < 0
+// for all S (the paper's remark after Theorem 1). An error is returned for
+// S = F or in the γ ≤ µ branch where the expression is undefined.
+func DeltaS(p model.Params, s pieceset.Set) (float64, error) {
+	if s.IsFull(p.K) {
+		return 0, errors.New("stability: ∆_S undefined for S = F")
+	}
+	ratio := muOverGamma(p)
+	if ratio >= 1 {
+		return 0, errors.New("stability: ∆_S requires µ < γ")
+	}
+	var inside, outside float64
+	for c, l := range p.Lambda {
+		if l <= 0 {
+			continue
+		}
+		if c.SubsetOf(s) {
+			inside += l
+		} else {
+			outside += l * (float64(p.K-c.Size()) + ratio)
+		}
+	}
+	return inside - (p.Us+outside)/(1-ratio), nil
+}
+
+// MaxDeltaS returns the maximum of ∆_S over all proper subsets S and the
+// arg-max set. It enumerates 2^K − 1 subsets, so callers keep K small; the
+// remark after Theorem 1 guarantees the maximum is attained at some
+// S = F − {k}, which tests verify.
+func MaxDeltaS(p model.Params) (pieceset.Set, float64, error) {
+	best := math.Inf(-1)
+	var bestS pieceset.Set
+	for _, s := range pieceset.AllProper(p.K) {
+		d, err := DeltaS(p, s)
+		if err != nil {
+			return 0, 0, err
+		}
+		if d > best {
+			best = d
+			bestS = s
+		}
+	}
+	return bestS, best, nil
+}
+
+// OneClubGrowthRate returns ∆_{F−{k}} for the critical piece: the paper's
+// predicted linear growth rate of the one-club (and hence of N_t) in the
+// transient regime. Experiment E5 compares a simulated sample path's slope
+// against this value.
+func OneClubGrowthRate(p model.Params, k int) (float64, error) {
+	return DeltaS(p, pieceset.Full(p.K).Without(k))
+}
+
+// Example1Threshold returns the critical arrival rate λ0* = U_s/(1−µ/γ) of
+// Example 1 (K = 1, new peers arrive empty). For µ ≥ γ it returns +Inf.
+func Example1Threshold(us, mu, gamma float64) float64 {
+	if math.IsInf(gamma, 1) {
+		return us
+	}
+	if mu >= gamma {
+		return math.Inf(1)
+	}
+	return us / (1 - mu/gamma)
+}
+
+// Example3Factor returns the factor (2 + µ/γ)/(1 − µ/γ) appearing in the
+// Example 3 stability conditions λ_i + λ_j < λ_k·factor.
+func Example3Factor(mu, gamma float64) float64 {
+	if math.IsInf(gamma, 1) {
+		return 2
+	}
+	if mu >= gamma {
+		return math.Inf(1)
+	}
+	r := mu / gamma
+	return (2 + r) / (1 - r)
+}
