@@ -7,10 +7,13 @@ package repro
 //	go test -bench=. -benchmem
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"repro/internal/borderline"
 	"repro/internal/codedsim"
+	"repro/internal/engine"
 	"repro/internal/exp"
 	"repro/internal/gf"
 	"repro/internal/lyapunov"
@@ -445,3 +448,69 @@ func BenchmarkBorderlineTopLayer(b *testing.B) {
 func BenchmarkE13QuasiStability(b *testing.B) { benchExperiment(b, "E13") }
 
 func BenchmarkE14HeavyTraffic(b *testing.B) { benchExperiment(b, "E14") }
+
+// --- engine scaling benchmarks -------------------------------------------
+//
+// Serial-vs-parallel pairs for the Monte-Carlo engine: the same replicated
+// workload with a single worker and with one worker per core. The ratio is
+// the perf trajectory's baseline for parallel replica execution.
+
+// benchEngineReplicas runs a fixed engine job — replicated type-count
+// swarms to a fixed horizon — at the given worker count.
+func benchEngineReplicas(b *testing.B, workers int) {
+	b.Helper()
+	job := engine.Job{
+		Name: "bench",
+		Backend: &engine.SwarmBackend{
+			Params: benchParams(3),
+			Measure: func(ctx context.Context, rep int, sw *sim.Swarm) (engine.Sample, error) {
+				if _, err := sw.RunUntil(200, 0); err != nil {
+					return nil, err
+				}
+				return engine.Sample{"final_n": float64(sw.N())}, nil
+			},
+		},
+		Replicas: 2 * runtime.NumCPU(),
+		Seed:     1,
+		Workers:  workers,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Run(context.Background(), job); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineReplicasSerial(b *testing.B) { benchEngineReplicas(b, 1) }
+
+func BenchmarkEngineReplicasParallel(b *testing.B) { benchEngineReplicas(b, runtime.NumCPU()) }
+
+// benchExperimentWorkers runs one registered experiment at quick scale with
+// an explicit engine worker count.
+func benchExperimentWorkers(b *testing.B, id string, workers int) {
+	b.Helper()
+	e, err := exp.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(exp.Config{Quick: true, Seed: 1, Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E13 is the representative replicated experiment: five variants, each a
+// replica pool of onset detections.
+func BenchmarkE13Serial(b *testing.B) { benchExperimentWorkers(b, "E13", 1) }
+
+func BenchmarkE13Parallel(b *testing.B) { benchExperimentWorkers(b, "E13", runtime.NumCPU()) }
+
+// E1 is the representative empirical-classification sweep (six points ×
+// replica pools through core.ClassifyEmpirically).
+func BenchmarkE1Serial(b *testing.B) { benchExperimentWorkers(b, "E1", 1) }
+
+func BenchmarkE1Parallel(b *testing.B) { benchExperimentWorkers(b, "E1", runtime.NumCPU()) }

@@ -1,43 +1,57 @@
-// Command experiments regenerates the paper-reproduction tables E1–E12
+// Command experiments regenerates the paper-reproduction tables E1–E14
 // (see DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
-// output).
+// output). Replicated experiments run on the parallel Monte-Carlo engine;
+// output is byte-identical for any -parallel value at a fixed seed.
 //
 // Examples:
 //
-//	experiments              # run everything at full scale
-//	experiments -quick       # reduced scale (seconds instead of minutes)
-//	experiments -id E1,E7    # selected experiments only
+//	experiments                  # run everything at full scale
+//	experiments -quick           # reduced scale (seconds instead of minutes)
+//	experiments -id E1,E7        # selected experiments only
+//	experiments -parallel 1      # serial replicas (same tables, slower)
+//	experiments -jsonl out.jsonl # structured per-replica records
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/exp"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		quick = fs.Bool("quick", false, "reduced horizons and replica counts")
-		ids   = fs.String("id", "", "comma-separated experiment ids (default: all)")
-		seed  = fs.Uint64("seed", 1, "base RNG seed")
+		quick    = fs.Bool("quick", false, "reduced horizons and replica counts")
+		ids      = fs.String("id", "", "comma-separated experiment ids (default: all)")
+		seed     = fs.Uint64("seed", 1, "base RNG seed")
+		parallel = fs.Int("parallel", runtime.NumCPU(), "engine worker pool size (1 = serial)")
+		jsonl    = fs.String("jsonl", "", "write per-replica engine records to this JSONL file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := exp.Config{Quick: *quick, Seed: *seed}
+	if *parallel < 1 {
+		return fmt.Errorf("-parallel must be >= 1, got %d", *parallel)
+	}
+	cfg := exp.Config{Quick: *quick, Seed: *seed, Workers: *parallel, Context: ctx}
 
 	var selected []exp.Experiment
 	if *ids == "" {
@@ -51,7 +65,20 @@ func run(args []string, out io.Writer) error {
 			selected = append(selected, e)
 		}
 	}
+	// Open the sink only after the id list validates, so a typo'd -id does
+	// not truncate an existing results file.
+	if *jsonl != "" {
+		f, err := os.Create(*jsonl)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.Sink = engine.NewJSONLSink(f)
+	}
 	for _, e := range selected {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		start := time.Now()
 		table, err := e.Run(cfg)
 		if err != nil {

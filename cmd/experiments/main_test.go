@@ -1,13 +1,16 @@
 package main
 
 import (
+	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
 func TestRunSelectedQuick(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-quick", "-id", "E12,E5"}, &b); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-id", "E12,E5"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -23,14 +26,84 @@ func TestRunSelectedQuick(t *testing.T) {
 
 func TestRunUnknownID(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-id", "E99"}, &b); err == nil {
+	if err := run(context.Background(), []string{"-id", "E99"}, &b); err == nil {
 		t.Error("unknown experiment id accepted")
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-bogus"}, &b); err == nil {
+	if err := run(context.Background(), []string{"-bogus"}, &b); err == nil {
 		t.Error("unknown flag accepted")
 	}
+}
+
+func TestRunBadParallel(t *testing.T) {
+	var b strings.Builder
+	if err := run(context.Background(), []string{"-parallel", "0"}, &b); err == nil {
+		t.Error("-parallel 0 accepted")
+	}
+}
+
+// TestParallelDeterminism is the acceptance check for the engine: the
+// rendered tables must be byte-identical for -parallel 1 and -parallel 8
+// at the same seed.
+func TestParallelDeterminism(t *testing.T) {
+	outputs := make([]string, 0, 2)
+	for _, workers := range []string{"1", "8"} {
+		var b strings.Builder
+		args := []string{"-quick", "-seed", "1", "-parallel", workers, "-id", "E1,E5,E8,E9,E13"}
+		if err := run(context.Background(), args, &b); err != nil {
+			t.Fatalf("-parallel %s: %v", workers, err)
+		}
+		outputs = append(outputs, stripElapsed(b.String()))
+	}
+	if outputs[0] != outputs[1] {
+		t.Errorf("tables differ between -parallel 1 and -parallel 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			outputs[0], outputs[1])
+	}
+}
+
+// TestJSONLSinkDeterminism checks the structured records are also
+// byte-identical across worker counts.
+func TestJSONLSinkDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	files := make([]string, 0, 2)
+	for _, workers := range []string{"1", "4"} {
+		path := filepath.Join(dir, "out"+workers+".jsonl")
+		var b strings.Builder
+		args := []string{"-quick", "-seed", "3", "-parallel", workers, "-jsonl", path, "-id", "E9"}
+		if err := run(context.Background(), args, &b); err != nil {
+			t.Fatalf("-parallel %s: %v", workers, err)
+		}
+		files = append(files, path)
+	}
+	a, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	bts, err := os.ReadFile(files[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty JSONL output")
+	}
+	if string(a) != string(bts) {
+		t.Errorf("JSONL differs between worker counts:\n%s\nvs\n%s", a, bts)
+	}
+}
+
+// stripElapsed removes the wall-clock lines, the only legitimate
+// run-to-run difference.
+func stripElapsed(s string) string {
+	lines := strings.Split(s, "\n")
+	kept := lines[:0]
+	for _, l := range lines {
+		if strings.HasPrefix(l, "elapsed:") {
+			continue
+		}
+		kept = append(kept, l)
+	}
+	return strings.Join(kept, "\n")
 }

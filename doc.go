@@ -4,8 +4,10 @@
 // of Theorem 1 and its four extensions (general piece-selection policies,
 // network coding, fast recovery, and the µ = ∞ borderline process), an
 // event-driven CTMC simulator validated against an exact truncated-
-// generator solver, and the experiment harness E1–E12 that regenerates
-// every quantitative artifact in the paper.
+// generator solver, a parallel Monte-Carlo engine that fans replicated
+// runs across a worker pool with bit-for-bit deterministic output, and
+// the experiment harness E1–E14 that regenerates every quantitative
+// artifact in the paper.
 //
 // Start with internal/core (the System facade), or run:
 //

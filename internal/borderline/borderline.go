@@ -45,13 +45,20 @@ type Stats struct {
 // New builds a chain for K pieces with per-piece arrival rate lambda
 // (total rate K·lambda) starting from the empty state.
 func New(k int, lambda float64, seed uint64) (*Chain, error) {
+	return NewFromRNG(k, lambda, rng.New(seed))
+}
+
+// NewFromRNG builds a chain driven by a pre-seeded generator; the parallel
+// engine uses it to give each replica an independent stream. The chain
+// takes ownership of the generator.
+func NewFromRNG(k int, lambda float64, r *rng.RNG) (*Chain, error) {
 	if k < 2 {
 		return nil, fmt.Errorf("%w: K must be ≥ 2, got %d", ErrBadParams, k)
 	}
 	if !(lambda > 0) {
 		return nil, fmt.Errorf("%w: λ = %v", ErrBadParams, lambda)
 	}
-	return &Chain{k: k, lambda: lambda, r: rng.New(seed)}, nil
+	return &Chain{k: k, lambda: lambda, r: r}, nil
 }
 
 // SetState forces the chain into state (n, j); used to start experiments on
@@ -151,10 +158,16 @@ func (c *Chain) RunTransitions(steps int) {
 // sampling of the coin race. The paper's null-recurrence argument rests on
 // E[Z] = K−1 exactly.
 func EmpiricalMeanZ(k int, trials int, seed uint64) (float64, error) {
+	return SampleMeanZ(k, trials, rng.New(seed))
+}
+
+// SampleMeanZ is EmpiricalMeanZ driven by a caller-supplied generator, so
+// the parallel engine can spread the trials across independent replica
+// streams and average the per-stream means.
+func SampleMeanZ(k int, trials int, r *rng.RNG) (float64, error) {
 	if k < 2 || trials <= 0 {
 		return 0, ErrBadParams
 	}
-	r := rng.New(seed)
 	var sum float64
 	for i := 0; i < trials; i++ {
 		heads, tails := 0, 0

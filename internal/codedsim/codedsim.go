@@ -25,9 +25,19 @@ type Option func(*config)
 
 type config struct {
 	seed           uint64
+	rng            *rng.RNG
 	randomGiftRate float64
 	fullExchange   bool
 	initial        []initialGroup
+}
+
+// generator resolves the configured RNG: an explicit stream wins, else a
+// fresh generator from the seed.
+func (c *config) generator() *rng.RNG {
+	if c.rng != nil {
+		return c.rng
+	}
+	return rng.New(c.seed)
 }
 
 type initialGroup struct {
@@ -38,6 +48,13 @@ type initialGroup struct {
 // WithSeed sets the deterministic RNG seed (default 1).
 func WithSeed(seed uint64) Option {
 	return func(c *config) { c.seed = seed }
+}
+
+// WithRNG hands the swarm a pre-seeded generator, overriding WithSeed. The
+// parallel engine uses this to drive each replica from an independent
+// stream split off a base seed; the swarm takes ownership of the generator.
+func WithRNG(r *rng.RNG) Option {
+	return func(c *config) { c.rng = r }
 }
 
 // WithRandomGiftRate adds a Poisson arrival stream at the given rate whose
@@ -110,7 +127,7 @@ func New(p stability.CodedParams, opts ...Option) (*Swarm, error) {
 	}
 	s := &Swarm{
 		params:         p,
-		r:              rng.New(cfg.seed),
+		r:              cfg.generator(),
 		groups:         make(map[string]*group),
 		randomGiftRate: cfg.randomGiftRate,
 		fullExchange:   cfg.fullExchange,

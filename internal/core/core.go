@@ -9,10 +9,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"repro/internal/engine"
 	"repro/internal/markov"
 	"repro/internal/model"
 	"repro/internal/sim"
@@ -99,13 +101,22 @@ type RunConfig struct {
 	PeerCap int
 	// Replicas is the number of independent sample paths (default 5).
 	Replicas int
-	// Seed is the base RNG seed; replica i uses Seed + i (default 1).
+	// Seed is the base RNG seed; each replica runs on an independent
+	// stream split off it by the engine, in replica order (default 1).
 	Seed uint64
 	// Policy overrides the piece-selection policy (default random useful).
 	Policy sim.Policy
 	// BurnIn discards this much initial time from occupancy averaging
 	// (default Horizon/5).
 	BurnIn float64
+	// Workers bounds the engine worker pool running the replicas
+	// (0 = engine default, the process GOMAXPROCS; 1 = serial).
+	Workers int
+	// Sink, when non-nil, receives structured per-replica records and the
+	// aggregate from the underlying engine job.
+	Sink engine.Sink
+	// Context cancels the run mid-flight (nil = background).
+	Context context.Context
 }
 
 func (c *RunConfig) normalize() error {
@@ -159,48 +170,70 @@ func (e Empirical) Agrees(v stability.Verdict) bool {
 	}
 }
 
-// ClassifyEmpirically runs independent replicas and reports whether the
-// population grows — the sample-path counterpart of Theorem 1's dichotomy.
+// ClassifyEmpirically runs independent replicas through the parallel
+// Monte-Carlo engine and reports whether the population grows — the
+// sample-path counterpart of Theorem 1's dichotomy. Results are
+// deterministic in the base seed regardless of cfg.Workers.
 func (s *System) ClassifyEmpirically(cfg RunConfig) (Empirical, error) {
 	if err := cfg.normalize(); err != nil {
 		return Empirical{}, err
 	}
-	out := Empirical{Replicas: cfg.Replicas}
-	var grew int
-	var occSum float64
-	var occCount int
-	var finalSum float64
-	for i := 0; i < cfg.Replicas; i++ {
-		sw, err := s.NewSwarm(sim.WithSeed(cfg.Seed+uint64(i)), sim.WithPolicy(cfg.Policy))
-		if err != nil {
-			return Empirical{}, err
-		}
-		reason, err := sw.RunUntil(cfg.BurnIn, cfg.PeerCap)
-		if err != nil {
-			return Empirical{}, err
-		}
-		if reason != sim.StopPeers {
-			sw.ResetOccupancy()
-			reason, err = sw.RunUntil(cfg.Horizon, cfg.PeerCap)
+	backend := &engine.SwarmBackend{
+		Label:   "classify",
+		Params:  s.params,
+		Options: []sim.Option{sim.WithPolicy(cfg.Policy)},
+		Measure: func(ctx context.Context, rep int, sw *sim.Swarm) (engine.Sample, error) {
+			reason, err := sw.RunUntil(cfg.BurnIn, cfg.PeerCap)
 			if err != nil {
-				return Empirical{}, err
+				return nil, err
 			}
-		}
-		finalSum += float64(sw.N())
-		if reason == sim.StopPeers || sw.N() >= cfg.PeerCap/2 {
-			grew++
-			continue
-		}
-		occSum += sw.MeanPeers()
-		occCount++
+			if reason != sim.StopPeers {
+				sw.ResetOccupancy()
+				// Advance in slices so a cancelled run stops promptly.
+				step := (cfg.Horizon - cfg.BurnIn) / 8
+				for target := cfg.BurnIn + step; reason != sim.StopPeers && sw.Now() < cfg.Horizon; target += step {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					if target > cfg.Horizon {
+						target = cfg.Horizon
+					}
+					reason, err = sw.RunUntil(target, cfg.PeerCap)
+					if err != nil {
+						return nil, err
+					}
+				}
+			}
+			sample := engine.Sample{"final_n": float64(sw.N())}
+			if reason == sim.StopPeers || sw.N() >= cfg.PeerCap/2 {
+				sample["grew"] = 1
+			} else {
+				sample["occupancy"] = sw.MeanPeers()
+			}
+			return sample, nil
+		},
 	}
-	out.GrowFraction = float64(grew) / float64(cfg.Replicas)
-	out.Grew = 2*grew > cfg.Replicas
-	out.MeanFinalN = finalSum / float64(cfg.Replicas)
-	if occCount > 0 {
-		out.MeanOccupancy = occSum / float64(occCount)
-	} else {
-		out.MeanOccupancy = math.NaN()
+	res, err := engine.Run(cfg.Context, engine.Job{
+		Name:     "classify/" + s.params.String(),
+		Backend:  backend,
+		Replicas: cfg.Replicas,
+		Seed:     cfg.Seed,
+		Workers:  cfg.Workers,
+		Sink:     cfg.Sink,
+	})
+	if err != nil {
+		return Empirical{}, err
+	}
+	grew := res.Count("grew")
+	out := Empirical{
+		Replicas:      cfg.Replicas,
+		Grew:          2*grew > cfg.Replicas,
+		GrowFraction:  float64(grew) / float64(cfg.Replicas),
+		MeanFinalN:    res.Mean("final_n"),
+		MeanOccupancy: math.NaN(),
+	}
+	if res.Count("occupancy") > 0 {
+		out.MeanOccupancy = res.Mean("occupancy")
 	}
 	return out, nil
 }

@@ -1,0 +1,212 @@
+// Package dist provides the small statistical toolkit shared by the
+// simulators and the experiment harness: streaming scalar summaries
+// (Welford mean/variance with normal-approximation confidence intervals),
+// time-weighted averages of piecewise-constant signals, and ordinary
+// least-squares line fitting for growth-rate measurements.
+//
+// Everything here is deterministic and allocation-light; Summary and
+// TimeAverage are usable as zero values so simulators can embed them
+// directly.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadFit reports a degenerate regression input (fewer than two points or
+// zero variance in x).
+var ErrBadFit = errors.New("dist: degenerate linear fit")
+
+// Summary accumulates a streaming scalar sample using Welford's algorithm.
+// The zero value is an empty summary ready for use. It is not safe for
+// concurrent use.
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (NaN when empty).
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.mean
+}
+
+// Var returns the unbiased sample variance (NaN with fewer than two
+// observations).
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation (NaN with fewer than two
+// observations).
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (NaN when empty).
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the largest observation (NaN when empty).
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval for the mean (0 with fewer than two observations).
+func (s *Summary) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return 1.96 * s.Std() / math.Sqrt(float64(s.n))
+}
+
+// Merge folds another summary into this one (Chan et al. parallel
+// combination). Merging preserves mean/variance exactly up to floating
+// point; the engine merges per-replica summaries in replica order so the
+// result is deterministic for a fixed replica set.
+func (s *Summary) Merge(o *Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	n := s.n + o.n
+	d := o.mean - s.mean
+	mean := s.mean + d*float64(o.n)/float64(n)
+	m2 := s.m2 + o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n, s.mean, s.m2 = n, mean, m2
+}
+
+// String renders "mean ± ci (n=…)" for table cells.
+func (s *Summary) String() string {
+	if s.n == 0 {
+		return "n/a"
+	}
+	if s.n == 1 {
+		return fmt.Sprintf("%.4g (n=1)", s.mean)
+	}
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.mean, s.CI95(), s.n)
+}
+
+// TimeAverage accumulates the time-weighted average of a piecewise-constant
+// signal observed at event times. The zero value is empty; the first
+// Observe establishes the starting time and level, and each subsequent
+// Observe charges the previous level for the elapsed interval. Time must be
+// non-decreasing.
+type TimeAverage struct {
+	started  bool
+	lastT    float64
+	lastV    float64
+	weighted float64 // ∫ v dt so far
+	span     float64 // total elapsed time
+}
+
+// Observe records that the signal has value v from time t onward.
+func (a *TimeAverage) Observe(t, v float64) {
+	if a.started && t > a.lastT {
+		dt := t - a.lastT
+		a.weighted += a.lastV * dt
+		a.span += dt
+	}
+	a.started = true
+	a.lastT = t
+	a.lastV = v
+}
+
+// Value returns the time-weighted average over the observed span. Before
+// any time has elapsed it returns the most recent level (NaN if nothing was
+// observed), so short runs still report a sensible occupancy.
+func (a *TimeAverage) Value() float64 {
+	if a.span > 0 {
+		return a.weighted / a.span
+	}
+	if a.started {
+		return a.lastV
+	}
+	return math.NaN()
+}
+
+// Span returns the total elapsed time covered by the average.
+func (a *TimeAverage) Span() float64 { return a.span }
+
+// LinearFit performs ordinary least squares y = a + b·x and returns the
+// intercept, slope, and coefficient of determination R². It errors when
+// fewer than two points are given or the xs are all identical.
+func LinearFit(xs, ys []float64) (intercept, slope, r2 float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, 0, 0, fmt.Errorf("%w: len(xs)=%d len(ys)=%d", ErrBadFit, len(xs), len(ys))
+	}
+	n := float64(len(xs))
+	if len(xs) < 2 {
+		return 0, 0, 0, fmt.Errorf("%w: %d points", ErrBadFit, len(xs))
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, 0, 0, fmt.Errorf("%w: zero variance in x", ErrBadFit)
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	if syy == 0 {
+		// A perfectly flat target is fit exactly by the flat line.
+		return intercept, slope, 1, nil
+	}
+	r2 = sxy * sxy / (sxx * syy)
+	return intercept, slope, r2, nil
+}

@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/borderline"
+	"repro/internal/codedsim"
+	"repro/internal/peersim"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stability"
+
+	"repro/internal/model"
+)
+
+// ErrNoMeasure reports a backend constructed without a measurement.
+var ErrNoMeasure = errors.New("engine: backend has no Measure func")
+
+// SwarmBackend drives the type-count simulator (internal/sim): each replica
+// builds a fresh swarm on its private stream and hands it to Measure.
+type SwarmBackend struct {
+	// Label names the backend in sink records (default "sim").
+	Label string
+	// Params configures the swarm.
+	Params model.Params
+	// Options are extra swarm options (policy, initial peers). The engine
+	// appends its own WithRNG last, so a WithSeed here is overridden.
+	Options []sim.Option
+	// Measure runs the replica on the fresh swarm and extracts its sample.
+	Measure func(ctx context.Context, rep int, sw *sim.Swarm) (Sample, error)
+}
+
+// Name implements Backend.
+func (b *SwarmBackend) Name() string { return orDefault(b.Label, "sim") }
+
+// RunReplica implements Backend.
+func (b *SwarmBackend) RunReplica(ctx context.Context, rep int, r *rng.RNG) (Sample, error) {
+	if b.Measure == nil {
+		return nil, ErrNoMeasure
+	}
+	opts := append(append([]sim.Option{}, b.Options...), sim.WithRNG(r))
+	sw, err := sim.New(b.Params, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return b.Measure(ctx, rep, sw)
+}
+
+// RecoveryBackend drives the fast-recovery variant of the type-count
+// simulator (sim.NewRecovery) with speed-up factor Eta.
+type RecoveryBackend struct {
+	Label   string
+	Params  model.Params
+	Eta     float64
+	Options []sim.Option
+	Measure func(ctx context.Context, rep int, sw *sim.RecoverySwarm) (Sample, error)
+}
+
+// Name implements Backend.
+func (b *RecoveryBackend) Name() string { return orDefault(b.Label, "recovery") }
+
+// RunReplica implements Backend.
+func (b *RecoveryBackend) RunReplica(ctx context.Context, rep int, r *rng.RNG) (Sample, error) {
+	if b.Measure == nil {
+		return nil, ErrNoMeasure
+	}
+	opts := append(append([]sim.Option{}, b.Options...), sim.WithRNG(r))
+	sw, err := sim.NewRecovery(b.Params, b.Eta, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return b.Measure(ctx, rep, sw)
+}
+
+// CodedBackend drives the network-coding simulator (internal/codedsim).
+type CodedBackend struct {
+	Label   string
+	Params  stability.CodedParams
+	Options []codedsim.Option
+	Measure func(ctx context.Context, rep int, sw *codedsim.Swarm) (Sample, error)
+}
+
+// Name implements Backend.
+func (b *CodedBackend) Name() string { return orDefault(b.Label, "codedsim") }
+
+// RunReplica implements Backend.
+func (b *CodedBackend) RunReplica(ctx context.Context, rep int, r *rng.RNG) (Sample, error) {
+	if b.Measure == nil {
+		return nil, ErrNoMeasure
+	}
+	opts := append(append([]codedsim.Option{}, b.Options...), codedsim.WithRNG(r))
+	sw, err := codedsim.New(b.Params, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return b.Measure(ctx, rep, sw)
+}
+
+// PeerBackend drives the peer-granular simulator (internal/peersim), whose
+// per-peer sojourn statistics back the Little's-law cross-checks.
+type PeerBackend struct {
+	Label   string
+	Params  model.Params
+	Options []peersim.Option
+	Measure func(ctx context.Context, rep int, sw *peersim.Swarm) (Sample, error)
+}
+
+// Name implements Backend.
+func (b *PeerBackend) Name() string { return orDefault(b.Label, "peersim") }
+
+// RunReplica implements Backend.
+func (b *PeerBackend) RunReplica(ctx context.Context, rep int, r *rng.RNG) (Sample, error) {
+	if b.Measure == nil {
+		return nil, ErrNoMeasure
+	}
+	opts := append(append([]peersim.Option{}, b.Options...), peersim.WithRNG(r))
+	sw, err := peersim.New(b.Params, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return b.Measure(ctx, rep, sw)
+}
+
+// BorderlineBackend drives the µ=∞ embedded chain (internal/borderline).
+type BorderlineBackend struct {
+	Label string
+	// K and Lambda configure the chain (per-piece arrival rate Lambda).
+	K       int
+	Lambda  float64
+	Measure func(ctx context.Context, rep int, c *borderline.Chain) (Sample, error)
+}
+
+// Name implements Backend.
+func (b *BorderlineBackend) Name() string { return orDefault(b.Label, "borderline") }
+
+// RunReplica implements Backend.
+func (b *BorderlineBackend) RunReplica(ctx context.Context, rep int, r *rng.RNG) (Sample, error) {
+	if b.Measure == nil {
+		return nil, ErrNoMeasure
+	}
+	c, err := borderline.NewFromRNG(b.K, b.Lambda, r)
+	if err != nil {
+		return nil, err
+	}
+	return b.Measure(ctx, rep, c)
+}
+
+func orDefault(label, def string) string {
+	if label == "" {
+		return def
+	}
+	return label
+}

@@ -1,0 +1,198 @@
+// Package engine is the parallel Monte-Carlo substrate shared by every
+// replicated experiment in the repository. A Job names a Backend (an
+// adapter over one of the simulators: the type-count swarm, the coded
+// swarm, the peer-granular swarm, or the µ=∞ borderline chain) and a
+// replica count; the engine fans the replicas across a worker pool while
+// keeping results bit-for-bit deterministic:
+//
+//   - every replica runs on its own RNG stream, split off the base seed in
+//     replica order before any worker starts, so the stream assignment is
+//     independent of scheduling;
+//   - per-replica samples are collected by index and aggregated in replica
+//     order, so Welford merges see the same sequence whatever the worker
+//     count;
+//   - sinks receive the per-replica records in replica order after the run
+//     completes, so emitted JSONL is byte-identical for 1 or N workers.
+//
+// The only scheduling-dependent observable is the Progress callback, which
+// reports completion counts as they happen.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+// Errors reported by the engine.
+var (
+	ErrNoBackend = errors.New("engine: job has no backend")
+	ErrNoWork    = errors.New("engine: job has no replicas")
+)
+
+// Sample is one replica's named scalar outcomes. Keys present in some
+// replicas and absent in others are aggregated over the replicas that
+// reported them (that is how conditional metrics like "occupancy of the
+// non-growing replicas" and event counters like "onset observed" are
+// expressed).
+type Sample map[string]float64
+
+// Backend produces one replica outcome from a dedicated RNG stream. A
+// Backend must be safe for concurrent RunReplica calls; all the adapters
+// in this package are, because each call builds its own simulator from the
+// replica's stream.
+type Backend interface {
+	// Name labels the backend in sink records.
+	Name() string
+	// RunReplica runs replica number rep (0-based) to completion. The
+	// generator is the replica's private stream; long-running backends
+	// should poll ctx and abandon work when it is cancelled.
+	RunReplica(ctx context.Context, rep int, r *rng.RNG) (Sample, error)
+}
+
+// Func adapts a closure to a Backend.
+type Func struct {
+	Label string
+	Fn    func(ctx context.Context, rep int, r *rng.RNG) (Sample, error)
+}
+
+// Name implements Backend.
+func (f Func) Name() string {
+	if f.Label == "" {
+		return "func"
+	}
+	return f.Label
+}
+
+// RunReplica implements Backend.
+func (f Func) RunReplica(ctx context.Context, rep int, r *rng.RNG) (Sample, error) {
+	return f.Fn(ctx, rep, r)
+}
+
+// Job describes one replicated Monte-Carlo computation.
+type Job struct {
+	// Name labels the job in sink records and errors.
+	Name string
+	// Backend runs one replica; required.
+	Backend Backend
+	// Replicas is the number of independent sample paths; required > 0.
+	Replicas int
+	// Seed is the base seed the replica streams are split from (default 1).
+	Seed uint64
+	// Workers bounds the worker pool; 0 means DefaultWorkers().
+	Workers int
+	// Sink, when non-nil, receives per-replica records (in replica order)
+	// and the aggregate after the run completes.
+	Sink Sink
+	// Progress, when non-nil, is called after each replica completes with
+	// the number done so far and the total. Calls are serialized but their
+	// order follows scheduling, not replica index.
+	Progress func(done, total int)
+}
+
+// DefaultWorkers is the worker-pool size used when a job does not set one:
+// the process's GOMAXPROCS.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Result is the deterministic outcome of a job.
+type Result struct {
+	// Job echoes the job name.
+	Job string
+	// Replicas echoes the replica count.
+	Replicas int
+	// Samples holds every replica's sample, indexed by replica.
+	Samples []Sample
+
+	metrics map[string]*dist.Summary
+	keys    []string
+}
+
+// aggregate folds the samples into per-key summaries, in replica order.
+func (res *Result) aggregate() {
+	res.metrics = make(map[string]*dist.Summary)
+	for _, s := range res.Samples {
+		for _, k := range sortedKeys(s) {
+			sum, ok := res.metrics[k]
+			if !ok {
+				sum = &dist.Summary{}
+				res.metrics[k] = sum
+				res.keys = append(res.keys, k)
+			}
+			sum.Add(s[k])
+		}
+	}
+	sort.Strings(res.keys)
+}
+
+// Keys returns the metric names seen across all replicas, sorted.
+func (res *Result) Keys() []string { return res.keys }
+
+// Summary returns the aggregate for one metric (an empty summary when no
+// replica reported it).
+func (res *Result) Summary(key string) *dist.Summary {
+	if s, ok := res.metrics[key]; ok {
+		return s
+	}
+	return &dist.Summary{}
+}
+
+// Mean returns the aggregate mean of one metric (NaN when unreported).
+func (res *Result) Mean(key string) float64 { return res.Summary(key).Mean() }
+
+// Count returns how many replicas reported the metric — the onset-counter
+// view of conditional keys.
+func (res *Result) Count(key string) int { return res.Summary(key).N() }
+
+// Run executes the job and returns its deterministic aggregate. A nil
+// context is treated as context.Background(); cancelling the context stops
+// the run and returns the context's error.
+func Run(ctx context.Context, job Job) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if job.Backend == nil {
+		return nil, fmt.Errorf("%w (job %q)", ErrNoBackend, job.Name)
+	}
+	if job.Replicas <= 0 {
+		return nil, fmt.Errorf("%w (job %q)", ErrNoWork, job.Name)
+	}
+	seed := job.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	// Derive every replica stream up front, in replica order, so the
+	// assignment is a pure function of the base seed.
+	base := rng.New(seed)
+	streams := make([]*rng.RNG, job.Replicas)
+	for i := range streams {
+		streams[i] = base.Split()
+	}
+
+	samples, err := runPool(ctx, job, streams)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Job: job.Name, Replicas: job.Replicas, Samples: samples}
+	res.aggregate()
+	if job.Sink != nil {
+		if err := emit(job, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// sortedKeys returns a sample's keys in sorted order.
+func sortedKeys(s Sample) []string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// runPool fans the replicas across the job's worker pool and returns the
+// samples indexed by replica. On any replica error the remaining work is
+// cancelled and a real backend failure is reported in preference to the
+// cancellations it spread; with several independently failing replicas the
+// one reported may vary with scheduling (successful runs stay bit-for-bit
+// deterministic — only the error path is schedule-dependent).
+func runPool(ctx context.Context, job Job, streams []*rng.RNG) ([]Sample, error) {
+	n := len(streams)
+	workers := job.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+
+	samples := make([]Sample, n)
+	errs := make([]error, n)
+
+	runOne := func(ctx context.Context, i int) {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
+		s, err := job.Backend.RunReplica(ctx, i, streams[i])
+		if err != nil {
+			errs[i] = fmt.Errorf("engine: job %q replica %d: %w", job.Name, i, err)
+			return
+		}
+		samples[i] = s
+	}
+
+	if workers == 1 {
+		// Serial fast path: no goroutines, no channels, same code path for
+		// each replica so results match the parallel schedule exactly.
+		for i := range streams {
+			runOne(ctx, i)
+			if errs[i] != nil {
+				return nil, firstError(ctx, errs)
+			}
+			if job.Progress != nil {
+				job.Progress(i+1, n)
+			}
+		}
+		return samples, nil
+	}
+
+	poolCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		progress sync.Mutex
+		done     int
+	)
+	indices := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				runOne(poolCtx, i)
+				if errs[i] != nil {
+					// Stop handing out work; already-running replicas
+					// observe the cancellation through their context.
+					cancel()
+					continue
+				}
+				if job.Progress != nil {
+					progress.Lock()
+					done++
+					job.Progress(done, n)
+					progress.Unlock()
+				}
+			}
+		}()
+	}
+feed:
+	for i := range streams {
+		select {
+		case indices <- i:
+		case <-poolCtx.Done():
+			break feed
+		}
+	}
+	close(indices)
+	wg.Wait()
+
+	if err := firstError(ctx, errs); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// firstError returns the lowest-replica real failure, skipping the bare
+// cancellations an earlier failure (or the caller's cancel) spread to other
+// replicas. When every error is a cancellation, the parent context's error
+// wins so a user cancel surfaces as such.
+func firstError(ctx context.Context, errs []error) error {
+	var cancelled error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if cancelled == nil {
+				cancelled = err
+			}
+			continue
+		}
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return cancelled
+}

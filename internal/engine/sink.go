@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ReplicaRecord is one replica's structured outcome as emitted to a sink.
+type ReplicaRecord struct {
+	Kind    string `json:"kind"` // "replica"
+	Job     string `json:"job"`
+	Backend string `json:"backend"`
+	Replica int    `json:"replica"`
+	Values  Sample `json:"values"`
+}
+
+// MetricAggregate is the sink-facing view of one metric's summary. NaN is
+// not representable in JSON, so the spread fields are zero below two
+// samples rather than NaN.
+type MetricAggregate struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	CI95 float64 `json:"ci95"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// AggregateRecord is the job-level record emitted after the replicas.
+type AggregateRecord struct {
+	Kind     string                     `json:"kind"` // "aggregate"
+	Job      string                     `json:"job"`
+	Backend  string                     `json:"backend"`
+	Replicas int                        `json:"replicas"`
+	Metrics  map[string]MetricAggregate `json:"metrics"`
+}
+
+// Sink receives a job's structured results. The engine calls WriteReplica
+// once per replica, in replica order, after the whole job completes, then
+// WriteAggregate once — so any sink output is deterministic regardless of
+// worker count. Implementations need not be concurrency-safe for a single
+// job; jobs sharing one sink should wrap it (see JSONLSink, which locks).
+type Sink interface {
+	WriteReplica(ReplicaRecord) error
+	WriteAggregate(AggregateRecord) error
+}
+
+// emit streams a completed result to the job's sink.
+func emit(job Job, res *Result) error {
+	for i, s := range res.Samples {
+		rec := ReplicaRecord{
+			Kind:    "replica",
+			Job:     job.Name,
+			Backend: job.Backend.Name(),
+			Replica: i,
+			Values:  s,
+		}
+		if err := job.Sink.WriteReplica(rec); err != nil {
+			return fmt.Errorf("engine: sink: %w", err)
+		}
+	}
+	agg := AggregateRecord{
+		Kind:     "aggregate",
+		Job:      job.Name,
+		Backend:  job.Backend.Name(),
+		Replicas: res.Replicas,
+		Metrics:  make(map[string]MetricAggregate, len(res.keys)),
+	}
+	for _, k := range res.keys {
+		sum := res.metrics[k]
+		m := MetricAggregate{N: sum.N(), Mean: sum.Mean(), Min: sum.Min(), Max: sum.Max()}
+		if sum.N() >= 2 {
+			m.Std = sum.Std()
+			m.CI95 = sum.CI95()
+		}
+		agg.Metrics[k] = m
+	}
+	if err := job.Sink.WriteAggregate(agg); err != nil {
+		return fmt.Errorf("engine: sink: %w", err)
+	}
+	return nil
+}
+
+// JSONLSink writes each record as one JSON line. encoding/json marshals
+// map keys in sorted order, so the byte stream is deterministic. The sink
+// serializes writes, so several sequential jobs may share one.
+type JSONLSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewJSONLSink wraps a writer.
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+func (s *JSONLSink) write(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.w.Write(b); err != nil {
+		return err
+	}
+	_, err = s.w.Write([]byte{'\n'})
+	return err
+}
+
+// WriteReplica implements Sink.
+func (s *JSONLSink) WriteReplica(rec ReplicaRecord) error { return s.write(rec) }
+
+// WriteAggregate implements Sink.
+func (s *JSONLSink) WriteAggregate(rec AggregateRecord) error { return s.write(rec) }

@@ -1,13 +1,16 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/borderline"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/pieceset"
+	"repro/internal/rng"
 	"repro/internal/sim"
 )
 
@@ -23,25 +26,66 @@ func RunE8(cfg Config) (*Table, error) {
 	}
 	trials := cfg.pickInt(20000, 200000)
 
-	// Part 1: E[Z] = K−1, exactly the zero-drift identity.
+	// Part 1: E[Z] = K−1, exactly the zero-drift identity. The trials are
+	// spread across engine replicas, each sampling an equal share of the
+	// coin races on its own stream; the mean of the per-replica means is
+	// the overall mean.
+	const zChunks = 16
 	for _, k := range []int{2, 3, 5} {
-		z, err := borderline.EmpiricalMeanZ(k, trials, cfg.seed()+uint64(k))
+		k := k
+		perChunk := trials / zChunks
+		res, err := cfg.run(cfg.job(
+			fmt.Sprintf("E8/meanZ/K=%d", k),
+			engine.Func{
+				Label: "borderline-meanZ",
+				Fn: func(ctx context.Context, rep int, r *rng.RNG) (engine.Sample, error) {
+					z, err := borderline.SampleMeanZ(k, perChunk, r)
+					if err != nil {
+						return nil, err
+					}
+					return engine.Sample{"mean_z": z}, nil
+				},
+			},
+			zChunks, uint64(k)))
 		if err != nil {
 			return nil, err
 		}
+		z := res.Mean("mean_z")
 		want := float64(k - 1)
 		ok := math.Abs(z-want) < 0.05*want+0.03
 		t.AddRow(fmt.Sprintf("E[Z], K=%d", k), fmtF(want), fmtF(z), markAgreement(ok))
 	}
 
 	// Part 2: top-layer excursions from a large club rarely shrink within
-	// a bounded number of transitions — null-recurrence signature.
-	sum, err := borderline.MeasureReturnTimes(3, 1,
-		cfg.pickInt(500, 2000), cfg.pickInt(30, 100), cfg.pickInt(1500, 20000), cfg.seed())
+	// a bounded number of transitions — null-recurrence signature. One
+	// engine replica per excursion.
+	startN := cfg.pickInt(500, 2000)
+	excursions := cfg.pickInt(30, 100)
+	maxSteps := cfg.pickInt(1500, 20000)
+	res, err := cfg.run(cfg.job("E8/excursions", &engine.BorderlineBackend{
+		K: 3, Lambda: 1,
+		Measure: func(ctx context.Context, rep int, c *borderline.Chain) (engine.Sample, error) {
+			if err := c.SetState(startN, 2); err != nil {
+				return nil, err
+			}
+			for step := 1; step <= maxSteps; step++ {
+				if step%4096 == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
+				c.Step()
+				if n, _ := c.State(); n <= startN/2 {
+					return engine.Sample{"steps": float64(step)}, nil
+				}
+			}
+			return engine.Sample{"capped": 1}, nil
+		},
+	}, excursions, 0))
 	if err != nil {
 		return nil, err
 	}
-	capFrac := float64(sum.Capped) / float64(sum.Excursions)
+	capFrac := float64(res.Count("capped")) / float64(excursions)
 	t.AddRow("top-layer halving excursions capped", "most (null recurrent)",
 		fmt.Sprintf("%.0f%% capped", 100*capFrac), markAgreement(capFrac > 0.5))
 
@@ -62,12 +106,8 @@ func RunE8(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		emp, err := sys.ClassifyEmpirically(core.RunConfig{
-			Horizon:  horizon,
-			PeerCap:  cfg.pickInt(2000, 20000),
-			Replicas: cfg.pickInt(2, 5),
-			Seed:     cfg.seed(),
-		})
+		emp, err := sys.ClassifyEmpirically(cfg.runConfig(
+			horizon, cfg.pickInt(2000, 20000), cfg.pickInt(2, 5)))
 		if err != nil {
 			return nil, err
 		}
@@ -104,6 +144,12 @@ func RunE9(cfg Config) (*Table, error) {
 		},
 	}
 	club := pieceset.Full(2).Without(1)
+	type recCase struct {
+		label string
+		p     model.Params
+		eta   float64
+	}
+	var cases []recCase
 	for _, cse := range []struct {
 		label string
 		p     model.Params
@@ -112,8 +158,17 @@ func RunE9(cfg Config) (*Table, error) {
 		{"gifted λ{1}=0.3", gifted},
 	} {
 		for _, eta := range []float64{1, 10} {
-			sw, err := sim.NewRecovery(cse.p, eta,
-				sim.WithSeed(cfg.seed()),
+			cases = append(cases, recCase{cse.label, cse.p, eta})
+		}
+	}
+	// One engine replica per (scenario, η) cell: the four independent runs
+	// execute concurrently, each on its own stream.
+	res, err := cfg.run(cfg.job("E9/recovery", engine.Func{
+		Label: "recovery-sweep",
+		Fn: func(ctx context.Context, rep int, r *rng.RNG) (engine.Sample, error) {
+			cse := cases[rep]
+			sw, err := sim.NewRecovery(cse.p, cse.eta,
+				sim.WithRNG(r),
 				sim.WithInitialPeers(map[pieceset.Set]int{club: clubSize}))
 			if err != nil {
 				return nil, err
@@ -121,11 +176,21 @@ func RunE9(cfg Config) (*Table, error) {
 			if _, err := sw.RunUntil(horizon, 0); err != nil {
 				return nil, err
 			}
-			drain := (float64(clubSize) - float64(sw.OneClub(1))) / horizon
-			t.AddRow(cse.label, fmtF(eta),
-				fmtF(float64(sw.Stats().Events)/horizon),
-				fmtF(drain), fmt.Sprintf("%d", sw.N()))
-		}
+			return engine.Sample{
+				"events_per_unit": float64(sw.Stats().Events) / horizon,
+				"drain_per_unit":  (float64(clubSize) - float64(sw.OneClub(1))) / horizon,
+				"final_n":         float64(sw.N()),
+			}, nil
+		},
+	}, len(cases), 7))
+	if err != nil {
+		return nil, err
+	}
+	for i, cse := range cases {
+		s := res.Samples[i]
+		t.AddRow(cse.label, fmtF(cse.eta),
+			fmtF(s["events_per_unit"]),
+			fmtF(s["drain_per_unit"]), fmt.Sprintf("%d", int(s["final_n"])))
 	}
 	t.AddNote("paper: η > 1 inflates contact attempts; the stability region itself is unchanged when no peers arrive with pieces")
 	return t, nil

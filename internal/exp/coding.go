@@ -92,12 +92,8 @@ func RunE7(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	emp, err := sys.ClassifyEmpirically(core.RunConfig{
-		Horizon:  cfg.pick(700, 3000),
-		PeerCap:  cfg.pickInt(250, 1000),
-		Replicas: cfg.pickInt(2, 5),
-		Seed:     cfg.seed(),
-	})
+	emp, err := sys.ClassifyEmpirically(cfg.runConfig(
+		cfg.pick(700, 3000), cfg.pickInt(250, 1000), cfg.pickInt(2, 5)))
 	if err != nil {
 		return nil, err
 	}

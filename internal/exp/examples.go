@@ -46,12 +46,7 @@ func RunE1(cfg Config) (*Table, error) {
 		Title:   "Example 1: K=1, U_s=1, µ=1, γ=2 (threshold λ0* = 2)",
 		Headers: comparisonHeaders(),
 	}
-	run := core.RunConfig{
-		Horizon:  cfg.pick(600, 2500),
-		PeerCap:  cfg.pickInt(250, 1200),
-		Replicas: cfg.pickInt(3, 10),
-		Seed:     cfg.seed(),
-	}
+	run := cfg.runConfig(cfg.pick(600, 2500), cfg.pickInt(250, 1200), cfg.pickInt(3, 10))
 	threshold := stability.Example1Threshold(1, 1, 2)
 	t.AddNote("analytic threshold λ0* = %s", fmtF(threshold))
 	for _, frac := range []float64{0.25, 0.5, 0.75, 1.25, 2, 3} {
@@ -78,12 +73,7 @@ func RunE2(cfg Config) (*Table, error) {
 	}
 	// The slowest transient case grows at ∆ ≈ 0.4 peers/unit, so the
 	// horizon must let it clear the cap.
-	run := core.RunConfig{
-		Horizon:  cfg.pick(1000, 4000),
-		PeerCap:  cfg.pickInt(250, 1000),
-		Replicas: cfg.pickInt(3, 8),
-		Seed:     cfg.seed(),
-	}
+	run := cfg.runConfig(cfg.pick(1000, 4000), cfg.pickInt(250, 1000), cfg.pickInt(3, 8))
 	const l34 = 1.0
 	for _, l12 := range []float64{0.3, 0.6, 1.0, 1.6, 2.5, 4.0} {
 		p := model.Params{
@@ -111,12 +101,7 @@ func RunE3(cfg Config) (*Table, error) {
 	}
 	// The γ=∞ asymmetric case grows at only ∆ ≈ 0.3 peers/unit; size the
 	// horizon so it still clears the cap.
-	run := core.RunConfig{
-		Horizon:  cfg.pick(1200, 4000),
-		PeerCap:  cfg.pickInt(250, 1000),
-		Replicas: cfg.pickInt(3, 8),
-		Seed:     cfg.seed(),
-	}
+	run := cfg.runConfig(cfg.pick(1200, 4000), cfg.pickInt(250, 1000), cfg.pickInt(3, 8))
 	factor := stability.Example3Factor(1, 2)
 	t.AddNote("analytic factor (2+µ/γ)/(1−µ/γ) = %s", fmtF(factor))
 	cases := []struct {
@@ -167,12 +152,7 @@ func RunE4(cfg Config) (*Table, error) {
 		Title:   "One-more-piece corollary: K=3, U_s=0.1, µ=1, γ=1 (γ ≤ µ)",
 		Headers: comparisonHeaders(),
 	}
-	run := core.RunConfig{
-		Horizon:  cfg.pick(150, 800),
-		PeerCap:  cfg.pickInt(100000, 400000),
-		Replicas: cfg.pickInt(2, 6),
-		Seed:     cfg.seed(),
-	}
+	run := cfg.runConfig(cfg.pick(150, 800), cfg.pickInt(100000, 400000), cfg.pickInt(2, 6))
 	for _, lambda0 := range []float64{1, 10, cfg.pick(25, 50)} {
 		p := model.Params{
 			K: 3, Us: 0.1, Mu: 1, Gamma: 1,

@@ -1,4 +1,4 @@
-// Package exp defines the reproduction experiments E1–E12 that regenerate
+// Package exp defines the reproduction experiments E1–E14 that regenerate
 // every quantitative artifact of the paper (the worked examples of Section
 // IV, the missing-piece growth law of Sections V–VI, the Theorem 15 coding
 // thresholds, and the Section VIII-D borderline process), each as a
@@ -7,21 +7,34 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 // ErrUnknownExperiment reports a lookup for an id that is not registered.
 var ErrUnknownExperiment = errors.New("exp: unknown experiment")
 
-// Config controls experiment scale.
+// Config controls experiment scale and execution.
 type Config struct {
 	// Quick shrinks horizons and replica counts for CI and benchmarks;
 	// full scale is what EXPERIMENTS.md records.
 	Quick bool
 	// Seed is the base RNG seed (default 1).
 	Seed uint64
+	// Workers bounds the Monte-Carlo engine's worker pool for replicated
+	// runs (0 = engine default, the process GOMAXPROCS; 1 = serial).
+	// Tables are byte-identical for any worker count at a fixed seed.
+	Workers int
+	// Sink, when non-nil, receives the engine's structured per-replica
+	// JSONL records alongside the rendered tables.
+	Sink engine.Sink
+	// Context cancels long experiments mid-run (nil = background).
+	Context context.Context
 }
 
 func (c Config) seed() uint64 {
@@ -29,6 +42,36 @@ func (c Config) seed() uint64 {
 		return 1
 	}
 	return c.Seed
+}
+
+// job assembles an engine job with the config's execution knobs applied.
+func (c Config) job(name string, backend engine.Backend, replicas int, seedOffset uint64) engine.Job {
+	return engine.Job{
+		Name:     name,
+		Backend:  backend,
+		Replicas: replicas,
+		Seed:     c.seed() + seedOffset,
+		Workers:  c.Workers,
+		Sink:     c.Sink,
+	}
+}
+
+// run submits a job to the engine under the config's context.
+func (c Config) run(job engine.Job) (*engine.Result, error) {
+	return engine.Run(c.Context, job)
+}
+
+// runConfig builds the common core.RunConfig execution fields.
+func (c Config) runConfig(horizon float64, peerCap, replicas int) core.RunConfig {
+	return core.RunConfig{
+		Horizon:  horizon,
+		PeerCap:  peerCap,
+		Replicas: replicas,
+		Seed:     c.seed(),
+		Workers:  c.Workers,
+		Sink:     c.Sink,
+		Context:  c.Context,
+	}
 }
 
 // pick returns the quick or full value of a scale knob.

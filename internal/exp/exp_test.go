@@ -127,3 +127,30 @@ func TestE13Quick(t *testing.T) {
 }
 
 func TestE14Quick(t *testing.T) { checkNoDisagreement(t, "E14") }
+
+// TestTableDeterminismAcrossWorkers pins the engine contract at the table
+// level: for a fixed seed the rendered experiment output must be identical
+// for 1, 2, and 8 workers (also exercised under -race in CI).
+func TestTableDeterminismAcrossWorkers(t *testing.T) {
+	for _, id := range []string{"E5", "E8", "E9", "E13"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ref string
+		for _, workers := range []int{1, 2, 8} {
+			tb, err := e.Run(Config{Quick: true, Seed: 5, Workers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", id, workers, err)
+			}
+			out := tb.Render()
+			if ref == "" {
+				ref = out
+				continue
+			}
+			if out != ref {
+				t.Errorf("%s differs at workers=%d:\n%s\nvs\n%s", id, workers, out, ref)
+			}
+		}
+	}
+}

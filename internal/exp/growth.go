@@ -1,14 +1,17 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/engine"
 	"repro/internal/fluid"
 	"repro/internal/model"
 	"repro/internal/pieceset"
+	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stability"
 )
@@ -54,53 +57,67 @@ func RunE5(cfg Config) (*Table, error) {
 			},
 		},
 	}
-	for _, cse := range cases {
-		delta, err := stability.OneClubGrowthRate(cse.p, 1)
-		if err != nil {
-			return nil, err
-		}
-		if delta <= 0 {
-			return nil, fmt.Errorf("exp: E5 case %q is not transient (∆ = %v)", cse.label, delta)
-		}
-		club := pieceset.Full(cse.p.K).Without(1)
-		sw, err := sim.New(cse.p,
-			sim.WithSeed(cfg.seed()),
-			sim.WithInitialPeers(map[pieceset.Set]int{club: clubSize}))
-		if err != nil {
-			return nil, err
-		}
-		pts, err := sw.Trace(horizon, horizon/50, 1, 0)
-		if err != nil {
-			return nil, err
-		}
-		xs := make([]float64, len(pts))
-		ys := make([]float64, len(pts))
-		for i, pt := range pts {
-			xs[i] = pt.T
-			ys[i] = float64(pt.N)
-		}
-		_, slope, r2, err := dist.LinearFit(xs, ys)
-		if err != nil {
-			return nil, err
-		}
+	// One engine replica per scenario: the stochastic trace and the fluid
+	// integration of the three cases run concurrently.
+	res, err := cfg.run(cfg.job("E5/growth", engine.Func{
+		Label: "growth-sweep",
+		Fn: func(ctx context.Context, rep int, r *rng.RNG) (engine.Sample, error) {
+			cse := cases[rep]
+			delta, err := stability.OneClubGrowthRate(cse.p, 1)
+			if err != nil {
+				return nil, err
+			}
+			if delta <= 0 {
+				return nil, fmt.Errorf("exp: E5 case %q is not transient (∆ = %v)", cse.label, delta)
+			}
+			club := pieceset.Full(cse.p.K).Without(1)
+			sw, err := sim.New(cse.p,
+				sim.WithRNG(r),
+				sim.WithInitialPeers(map[pieceset.Set]int{club: clubSize}))
+			if err != nil {
+				return nil, err
+			}
+			pts, err := sw.Trace(horizon, horizon/50, 1, 0)
+			if err != nil {
+				return nil, err
+			}
+			xs := make([]float64, len(pts))
+			ys := make([]float64, len(pts))
+			for i, pt := range pts {
+				xs[i] = pt.T
+				ys[i] = float64(pt.N)
+			}
+			_, slope, r2, err := dist.LinearFit(xs, ys)
+			if err != nil {
+				return nil, err
+			}
 
-		// Fluid slope from the same initial condition.
-		sys, err := fluid.New(cse.p)
-		if err != nil {
-			return nil, err
-		}
-		x0 := make([]float64, sys.Dim())
-		x0[int(club)] = float64(clubSize)
-		fl, err := sys.Integrate(x0, 0.02, int(horizon/0.02), int(horizon/0.02))
-		if err != nil {
-			return nil, err
-		}
-		fluidSlope := (fl[len(fl)-1].N - fl[0].N) / (fl[len(fl)-1].T - fl[0].T)
-
+			// Fluid slope from the same initial condition.
+			sys, err := fluid.New(cse.p)
+			if err != nil {
+				return nil, err
+			}
+			x0 := make([]float64, sys.Dim())
+			x0[int(club)] = float64(clubSize)
+			fl, err := sys.Integrate(x0, 0.02, int(horizon/0.02), int(horizon/0.02))
+			if err != nil {
+				return nil, err
+			}
+			fluidSlope := (fl[len(fl)-1].N - fl[0].N) / (fl[len(fl)-1].T - fl[0].T)
+			return engine.Sample{
+				"delta": delta, "slope": slope, "fluid_slope": fluidSlope, "r2": r2,
+			}, nil
+		},
+	}, len(cases), 0))
+	if err != nil {
+		return nil, err
+	}
+	for i, cse := range cases {
+		s := res.Samples[i]
 		// The slope should match ∆ within Monte-Carlo noise: accept 35%.
-		ok := math.Abs(slope-delta) <= 0.35*delta
-		t.AddRow(cse.label, fmtF(delta), fmtF(slope), fmtF(fluidSlope),
-			fmt.Sprintf("%.3f", r2), markAgreement(ok))
+		ok := math.Abs(s["slope"]-s["delta"]) <= 0.35*s["delta"]
+		t.AddRow(cse.label, fmtF(s["delta"]), fmtF(s["slope"]), fmtF(s["fluid_slope"]),
+			fmt.Sprintf("%.3f", s["r2"]), markAgreement(ok))
 	}
 	t.AddNote("slopes fitted over [0, %s] from a one-club of %d peers", fmtF(horizon), clubSize)
 	return t, nil
@@ -114,12 +131,7 @@ func RunE6(cfg Config) (*Table, error) {
 		Title:   "Policy insensitivity: verdicts across piece-selection policies",
 		Headers: []string{"scenario", "policy", "Theorem 14", "simulated", "verdict"},
 	}
-	run := core.RunConfig{
-		Horizon:  cfg.pick(150, 1000),
-		PeerCap:  cfg.pickInt(250, 1500),
-		Replicas: cfg.pickInt(2, 6),
-		Seed:     cfg.seed(),
-	}
+	run := cfg.runConfig(cfg.pick(150, 1000), cfg.pickInt(250, 1500), cfg.pickInt(2, 6))
 	cases := []struct {
 		label string
 		p     model.Params

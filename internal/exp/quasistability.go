@@ -1,11 +1,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/codedsim"
-	"repro/internal/dist"
+	"repro/internal/engine"
 	"repro/internal/gf"
 	"repro/internal/model"
 	"repro/internal/pieceset"
@@ -18,7 +19,9 @@ import (
 // regime for a long time before the one-club forms, and the piece-selection
 // policy (or network coding) changes *how long*, even though Theorem 1 says
 // it cannot change *whether*. We measure the onset time of one-club
-// dominance from an empty start, per policy, plus the coded analogue.
+// dominance from an empty start, per policy, plus the coded analogue. Each
+// policy's replicas run as one engine job, so the variants execute in
+// parallel replica pools while the reported onsets stay deterministic.
 func RunE13(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E13",
@@ -45,10 +48,17 @@ func RunE13(cfg Config) (*Table, error) {
 		onsetFrac = 0.6 // fraction of peers in one club
 	)
 
-	detectOnset := func(sw *sim.Swarm) (float64, bool, error) {
+	detectOnset := func(ctx context.Context, sw *sim.Swarm) (engine.Sample, error) {
+		var events uint64
 		for sw.Now() < horizon {
+			if events%8192 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			events++
 			if err := sw.Step(); err != nil {
-				return 0, false, err
+				return nil, err
 			}
 			n := sw.N()
 			if n < onsetN {
@@ -56,30 +66,26 @@ func RunE13(cfg Config) (*Table, error) {
 			}
 			for k := 1; k <= p.K; k++ {
 				if float64(sw.OneClub(k)) >= onsetFrac*float64(n) {
-					return sw.Now(), true, nil
+					return engine.Sample{"onset": sw.Now()}, nil
 				}
 			}
 		}
-		return 0, false, nil
+		return engine.Sample{}, nil
 	}
 
-	for _, pol := range sim.AllPolicies() {
-		var onset dist.Summary
-		onsets := 0
-		for r := 0; r < replicas; r++ {
-			sw, err := sim.New(p, sim.WithSeed(cfg.seed()+uint64(r)*101), sim.WithPolicy(pol))
-			if err != nil {
-				return nil, err
-			}
-			tOn, hit, err := detectOnset(sw)
-			if err != nil {
-				return nil, err
-			}
-			if hit {
-				onsets++
-				onset.Add(tOn)
-			}
+	for i, pol := range sim.AllPolicies() {
+		res, err := cfg.run(cfg.job("E13/"+pol.Name(), &engine.SwarmBackend{
+			Label:   "onset/" + pol.Name(),
+			Params:  p,
+			Options: []sim.Option{sim.WithPolicy(pol)},
+			Measure: func(ctx context.Context, rep int, sw *sim.Swarm) (engine.Sample, error) {
+				return detectOnset(ctx, sw)
+			},
+		}, replicas, uint64(i)*101))
+		if err != nil {
+			return nil, err
 		}
+		onset := res.Summary("onset")
 		cell := "none within horizon"
 		if onset.N() > 0 {
 			cell = onset.String()
@@ -87,7 +93,7 @@ func RunE13(cfg Config) (*Table, error) {
 		// Transient systems must eventually collapse; within a finite
 		// horizon we only require that the syndrome is *observable* for at
 		// least one policy run — rows are informational beyond that.
-		t.AddRow(pol.Name(), cell, fmt.Sprintf("%d/%d", onsets, replicas), "informational")
+		t.AddRow(pol.Name(), cell, fmt.Sprintf("%d/%d", onset.N(), replicas), "informational")
 	}
 
 	// Coded analogue: same rates, random linear coding over GF(8). The
@@ -99,37 +105,42 @@ func RunE13(cfg Config) (*Table, error) {
 			{V: gf.ZeroSubspace(field, p.K), Rate: 2.5},
 		},
 	}
-	var onset dist.Summary
-	onsets := 0
-	for r := 0; r < replicas; r++ {
-		sw, err := codedsim.New(coded, codedsim.WithSeed(cfg.seed()+uint64(r)*211))
-		if err != nil {
-			return nil, err
-		}
-		hit := false
-		for sw.Now() < horizon {
-			if err := sw.Step(); err != nil {
-				return nil, err
+	res, err := cfg.run(cfg.job("E13/coded", &engine.CodedBackend{
+		Label:  "onset/coded",
+		Params: coded,
+		Measure: func(ctx context.Context, rep int, sw *codedsim.Swarm) (engine.Sample, error) {
+			var events uint64
+			for sw.Now() < horizon {
+				if events%8192 == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
+				events++
+				if err := sw.Step(); err != nil {
+					return nil, err
+				}
+				n := sw.N()
+				if n < onsetN {
+					continue
+				}
+				dims := sw.DimCounts()
+				if float64(dims[p.K-1]) >= onsetFrac*float64(n) {
+					return engine.Sample{"onset": sw.Now()}, nil
+				}
 			}
-			n := sw.N()
-			if n < onsetN {
-				continue
-			}
-			dims := sw.DimCounts()
-			if float64(dims[p.K-1]) >= onsetFrac*float64(n) {
-				onsets++
-				onset.Add(sw.Now())
-				hit = true
-				break
-			}
-		}
-		_ = hit
+			return engine.Sample{}, nil
+		},
+	}, replicas, 211))
+	if err != nil {
+		return nil, err
 	}
+	onset := res.Summary("onset")
 	cell := "none within horizon"
 	if onset.N() > 0 {
 		cell = onset.String()
 	}
-	t.AddRow("network coding (q=8)", cell, fmt.Sprintf("%d/%d", onsets, replicas), "informational")
+	t.AddRow("network coding (q=8)", cell, fmt.Sprintf("%d/%d", onset.N(), replicas), "informational")
 	t.AddNote("base point: %s (transient, margin %s)", p.String(), fmtF(a.Margin))
 	t.AddNote("paper conclusion: policies/coding cannot change the stability region but can change how long the quasi-equilibrium lasts")
 	if math.IsNaN(onset.Mean()) {

@@ -1,12 +1,15 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/lyapunov"
 	"repro/internal/model"
+	"repro/internal/peersim"
 	"repro/internal/pieceset"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -52,31 +55,81 @@ func RunE10(cfg Config) (*Table, error) {
 			nmax: 30,
 		},
 	}
-	for _, cse := range cases {
-		sys, err := core.NewSystem(cse.p)
-		if err != nil {
-			return nil, err
-		}
-		exact, err := sys.ExactStationary(cse.nmax)
-		if err != nil {
-			return nil, err
-		}
-		sw, err := sys.NewSwarm(sim.WithSeed(cfg.seed()))
-		if err != nil {
-			return nil, err
-		}
-		if _, err := sw.RunUntil(horizon/20, 0); err != nil {
-			return nil, err
-		}
-		sw.ResetOccupancy()
-		if _, err := sw.RunUntil(horizon, 0); err != nil {
-			return nil, err
-		}
-		relErr := math.Abs(sw.MeanPeers()-exact.MeanN) / exact.MeanN
-		t.AddRow(cse.label, fmtF(exact.MeanN), fmtF(sw.MeanPeers()),
+	// One engine replica per case: each runs the exact solve and the
+	// simulator estimate concurrently with the other cases.
+	res, err := cfg.run(cfg.job("E10/validation", engine.Func{
+		Label: "validation-sweep",
+		Fn: func(ctx context.Context, rep int, r *rng.RNG) (engine.Sample, error) {
+			cse := cases[rep]
+			sys, err := core.NewSystem(cse.p)
+			if err != nil {
+				return nil, err
+			}
+			exact, err := sys.ExactStationary(cse.nmax)
+			if err != nil {
+				return nil, err
+			}
+			sw, err := sys.NewSwarm(sim.WithRNG(r))
+			if err != nil {
+				return nil, err
+			}
+			if _, err := sw.RunUntil(horizon/20, 0); err != nil {
+				return nil, err
+			}
+			sw.ResetOccupancy()
+			if _, err := sw.RunUntil(horizon, 0); err != nil {
+				return nil, err
+			}
+			return engine.Sample{"exact_en": exact.MeanN, "sim_en": sw.MeanPeers()}, nil
+		},
+	}, len(cases), 0))
+	if err != nil {
+		return nil, err
+	}
+	for i, cse := range cases {
+		s := res.Samples[i]
+		relErr := math.Abs(s["sim_en"]-s["exact_en"]) / s["exact_en"]
+		t.AddRow(cse.label, fmtF(s["exact_en"]), fmtF(s["sim_en"]),
 			fmt.Sprintf("%.1f%%", 100*relErr), markAgreement(relErr < 0.15))
 	}
+
+	// Third implementation cross-check: the peer-granular simulator's mean
+	// sojourn time against Little's law E[T] = E[N]/λ on the exact E[N] of
+	// the first case, replicated through the engine.
+	littleCase := cases[0]
+	sysL, err := core.NewSystem(littleCase.p)
+	if err != nil {
+		return nil, err
+	}
+	exactL, err := sysL.ExactStationary(littleCase.nmax)
+	if err != nil {
+		return nil, err
+	}
+	wantT := sysL.MeanSojournTime(exactL.MeanN)
+	peerHorizon := cfg.pick(3000, 15000)
+	resL, err := cfg.run(cfg.job("E10/little", &engine.PeerBackend{
+		Label:  "little",
+		Params: littleCase.p,
+		Measure: func(ctx context.Context, rep int, sw *peersim.Swarm) (engine.Sample, error) {
+			if err := sw.RunUntil(peerHorizon, 0); err != nil {
+				return nil, err
+			}
+			if sw.SojournTimes().N() == 0 {
+				return engine.Sample{}, nil
+			}
+			return engine.Sample{"mean_t": sw.SojournTimes().Mean()}, nil
+		},
+	}, cfg.pickInt(4, 8), 13))
+	if err != nil {
+		return nil, err
+	}
+	gotT := resL.Mean("mean_t")
+	relErrT := math.Abs(gotT-wantT) / wantT
+	t.AddRow(littleCase.label+" — peersim E[T] vs Little",
+		fmtF(wantT), fmtF(gotT),
+		fmt.Sprintf("%.1f%%", 100*relErrT), markAgreement(relErrT < 0.15))
 	t.AddNote("exact values from uniformized power iteration on the truncated generator (boundary mass < 1e-5)")
+	t.AddNote("last row: per-peer simulator sojourn mean vs Little's law on the exact E[N]")
 	return t, nil
 }
 

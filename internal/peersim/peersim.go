@@ -41,11 +41,26 @@ type Option func(*config)
 
 type config struct {
 	seed   uint64
+	rng    *rng.RNG
 	policy sim.Policy
 }
 
 // WithSeed sets the RNG seed (default 1).
 func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+
+// WithRNG hands the swarm a pre-seeded generator, overriding WithSeed. The
+// parallel engine uses this to drive each replica from an independent
+// stream split off a base seed; the swarm takes ownership of the generator.
+func WithRNG(r *rng.RNG) Option { return func(c *config) { c.rng = r } }
+
+// generator resolves the configured RNG: an explicit stream wins, else a
+// fresh generator from the seed.
+func (c *config) generator() *rng.RNG {
+	if c.rng != nil {
+		return c.rng
+	}
+	return rng.New(c.seed)
+}
 
 // WithPolicy sets the piece-selection policy (default random useful).
 func WithPolicy(p sim.Policy) Option { return func(c *config) { c.policy = p } }
@@ -87,7 +102,7 @@ func New(p model.Params, opts ...Option) (*Swarm, error) {
 	s := &Swarm{
 		params: p,
 		policy: cfg.policy,
-		r:      rng.New(cfg.seed),
+		r:      cfg.generator(),
 		full:   pieceset.Full(p.K),
 		pieces: make([]int, p.K),
 	}

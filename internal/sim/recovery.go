@@ -67,7 +67,7 @@ func NewRecovery(p model.Params, eta float64, opts ...Option) (*RecoverySwarm, e
 		params: p,
 		eta:    eta,
 		policy: cfg.policy,
-		r:      rng.New(cfg.seed),
+		r:      cfg.generator(),
 		full:   pieceset.Full(p.K),
 		counts: make(map[speedType]int),
 		pieces: make([]int, p.K),

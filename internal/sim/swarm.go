@@ -52,6 +52,7 @@ type Option func(*config)
 
 type config struct {
 	seed    uint64
+	rng     *rng.RNG
 	policy  Policy
 	initial map[pieceset.Set]int
 }
@@ -59,6 +60,13 @@ type config struct {
 // WithSeed sets the deterministic RNG seed (default 1).
 func WithSeed(seed uint64) Option {
 	return func(c *config) { c.seed = seed }
+}
+
+// WithRNG hands the swarm a pre-seeded generator, overriding WithSeed. The
+// parallel engine uses this to drive each replica from an independent
+// stream split off a base seed; the swarm takes ownership of the generator.
+func WithRNG(r *rng.RNG) Option {
+	return func(c *config) { c.rng = r }
 }
 
 // WithPolicy sets the piece-selection policy (default RandomUseful).
@@ -75,6 +83,15 @@ func WithInitialPeers(counts map[pieceset.Set]int) Option {
 			c.initial[k] = v
 		}
 	}
+}
+
+// generator resolves the configured RNG: an explicit stream wins, else a
+// fresh generator from the seed.
+func (c *config) generator() *rng.RNG {
+	if c.rng != nil {
+		return c.rng
+	}
+	return rng.New(c.seed)
 }
 
 // Swarm is one sample path of the model's CTMC, advanced event by event.
@@ -111,7 +128,7 @@ func New(p model.Params, opts ...Option) (*Swarm, error) {
 	s := &Swarm{
 		params: p,
 		policy: cfg.policy,
-		r:      rng.New(cfg.seed),
+		r:      cfg.generator(),
 		full:   pieceset.Full(p.K),
 		counts: make(map[pieceset.Set]int),
 		pieces: make([]int, p.K),
