@@ -10,6 +10,7 @@
 //	experiments -id E1,E7        # selected experiments only
 //	experiments -parallel 1      # serial replicas (same tables, slower)
 //	experiments -jsonl out.jsonl # structured per-replica records
+//	experiments -id E15 -flash-peak 10 -churn 1  # scenario-layer knobs
 package main
 
 import (
@@ -42,8 +43,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		quick    = fs.Bool("quick", false, "reduced horizons and replica counts")
 		ids      = fs.String("id", "", "comma-separated experiment ids (default: all)")
 		seed     = fs.Uint64("seed", 1, "base RNG seed")
-		parallel = fs.Int("parallel", runtime.NumCPU(), "engine worker pool size (1 = serial)")
-		jsonl    = fs.String("jsonl", "", "write per-replica engine records to this JSONL file")
+		parallel  = fs.Int("parallel", runtime.NumCPU(), "engine worker pool size (1 = serial)")
+		jsonl     = fs.String("jsonl", "", "write per-replica engine records to this JSONL file")
+		flashPeak = fs.Float64("flash-peak", 0, "E15: flash-crowd peak arrival multiplier (0 = default)")
+		churn     = fs.Float64("churn", 0, "E15: per-downloader abandonment rate δ (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,7 +54,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *parallel < 1 {
 		return fmt.Errorf("-parallel must be >= 1, got %d", *parallel)
 	}
-	cfg := exp.Config{Quick: *quick, Seed: *seed, Workers: *parallel, Context: ctx}
+	if *flashPeak < 0 || *churn < 0 {
+		return fmt.Errorf("-flash-peak and -churn must be >= 0, got %v and %v", *flashPeak, *churn)
+	}
+	cfg := exp.Config{
+		Quick: *quick, Seed: *seed, Workers: *parallel, Context: ctx,
+		FlashPeak: *flashPeak, Churn: *churn,
+	}
 
 	var selected []exp.Experiment
 	if *ids == "" {

@@ -45,6 +45,32 @@ func TestRunBadParallel(t *testing.T) {
 	}
 }
 
+// TestRunScenarioFlags runs the scenario experiment end-to-end through the
+// CLI with explicit flash-crowd and churn knobs.
+func TestRunScenarioFlags(t *testing.T) {
+	var b strings.Builder
+	args := []string{"-quick", "-id", "E15", "-flash-peak", "7", "-churn", "0.8"}
+	if err := run(context.Background(), args, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"E15 —", "×7", "δ=0.8", "flash crowd", "churn"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "DISAGREE") {
+		t.Errorf("scenario experiment disagreed:\n%s", out)
+	}
+}
+
+func TestRunBadScenarioFlags(t *testing.T) {
+	var b strings.Builder
+	if err := run(context.Background(), []string{"-churn", "-1"}, &b); err == nil {
+		t.Error("negative -churn accepted")
+	}
+}
+
 // TestParallelDeterminism is the acceptance check for the engine: the
 // rendered tables must be byte-identical for -parallel 1 and -parallel 8
 // at the same seed.

@@ -1,27 +1,36 @@
 // Flash crowd: the paper models the steady phase hours after a flash crowd.
-// This example shows the hand-off — a burst of 2000 empty peers arrives at
-// t = 0 on a fresh torrent, the swarm works the backlog down, and then
-// settles into the stationary regime whose stability Theorem 1 governs.
-// The drain is repeated under each piece-selection policy.
+// This example shows the hand-off two ways. First the classic view — a
+// burst of empty peers present at t = 0 on a fresh torrent, drained under
+// each piece-selection policy. Then the kernel's scenario layer simulates
+// the crowd as it actually happens: a time-varying arrival ramp
+// (kernel.FlashCrowd) that the stable swarm absorbs and recovers from.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"repro/internal/core"
+	"repro/internal/kernel"
 	"repro/internal/model"
 	"repro/internal/pieceset"
 	"repro/internal/sim"
 )
 
 func main() {
-	if err := run(); err != nil {
+	quick := flag.Bool("quick", false, "short horizons (for smoke tests)")
+	flag.Parse()
+	if err := run(*quick); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(quick bool) error {
+	crowd, horizon := 2000, 3000.0
+	if quick {
+		crowd, horizon = 300, 400.0
+	}
 	params := model.Params{
 		K:     4,
 		Us:    2,
@@ -37,10 +46,9 @@ func run() error {
 	}
 	fmt.Println("parameters:", params)
 	fmt.Println("steady-state verdict (Theorem 1):", sys.Verdict())
-	fmt.Println("flash crowd: 2000 empty peers at t = 0")
+	fmt.Printf("flash crowd: %d empty peers at t = 0\n", crowd)
 	fmt.Println()
 
-	const crowd = 2000
 	for _, policy := range sim.AllPolicies() {
 		swarm, err := sys.NewSwarm(
 			sim.WithSeed(11),
@@ -53,7 +61,7 @@ func run() error {
 		// Drain time: first instant the backlog is within 2x of the steady
 		// state level (~single digits here).
 		var drained float64 = -1
-		for swarm.Now() < 3000 {
+		for swarm.Now() < horizon {
 			if err := swarm.Step(); err != nil {
 				return err
 			}
@@ -69,5 +77,38 @@ func run() error {
 	fmt.Println()
 	fmt.Println("all policies drain the crowd — Theorem 14 in action: usefulness, not")
 	fmt.Println("cleverness, determines the stability region (efficiency differs, though)")
+
+	// The scenario layer: the same crowd as a time-varying arrival ramp.
+	// Arrivals multiply by `peak` over the ramp window; the kernel thins
+	// the inhomogeneous stream exactly. The trapezoidal ramp integrates to
+	// (peak−1)·λ·(Rise/2 + Hold + Fall/2) extra arrivals — solve that for
+	// the peak that injects the same expected headcount as the burst.
+	start, window := horizon/10, horizon/10
+	peak := 1 + float64(crowd)/(params.LambdaTotal()*0.75*window)
+	ramp := kernel.FlashCrowd{
+		Start: start, Rise: window / 4, Hold: window / 2, Fall: window / 4, Peak: peak,
+	}
+	swarm, err := sys.NewSwarm(sim.WithSeed(11),
+		sim.WithScenario(kernel.Scenario{Arrival: ramp}))
+	if err != nil {
+		return err
+	}
+	peakN, peakT := 0, 0.0
+	for swarm.Now() < horizon {
+		if err := swarm.Step(); err != nil {
+			return err
+		}
+		if swarm.N() > peakN {
+			peakN, peakT = swarm.N(), swarm.Now()
+		}
+	}
+	fmt.Println()
+	fmt.Printf("scenario layer: ×%.0f arrival ramp over t ∈ [%.0f, %.0f] (same expected crowd)\n",
+		peak, start, start+window)
+	fmt.Printf("  population peaked at N = %d (t = %.1f), back to N = %d by t = %.0f\n",
+		peakN, peakT, swarm.N(), horizon)
+	fmt.Printf("  %d arrivals thinned against the ramp bound; verdict unchanged — the\n",
+		swarm.Stats().Thinned)
+	fmt.Println("  stationary theory governs everything outside the event window")
 	return nil
 }

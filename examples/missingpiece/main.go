@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -16,12 +17,18 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	quick := flag.Bool("quick", false, "short horizons (for smoke tests)")
+	flag.Parse()
+	if err := run(*quick); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(quick bool) error {
+	club, horizon, interval := 500, 120.0, 6.0
+	if quick {
+		club, horizon, interval = 150, 40.0, 2.0
+	}
 	params := model.Params{
 		K:     3,
 		Us:    1,
@@ -46,12 +53,12 @@ func run() error {
 	oneClub := pieceset.Full(params.K).Without(1)
 	swarm, err := sys.NewSwarm(
 		sim.WithSeed(42),
-		sim.WithInitialPeers(map[pieceset.Set]int{oneClub: 500}),
+		sim.WithInitialPeers(map[pieceset.Set]int{oneClub: club}),
 	)
 	if err != nil {
 		return err
 	}
-	trace, err := swarm.Trace(120, 6, 1, 0)
+	trace, err := swarm.Trace(horizon, interval, 1, 0)
 	if err != nil {
 		return err
 	}

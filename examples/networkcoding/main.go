@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math"
@@ -19,12 +20,18 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	quick := flag.Bool("quick", false, "short horizons (for smoke tests)")
+	flag.Parse()
+	if err := run(*quick); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(quick bool) error {
+	horizon := 2000.0
+	if quick {
+		horizon = 300.0
+	}
 	// The paper's numeric example.
 	fmt.Println("paper example (q=64, K=200):")
 	fmt.Printf("  transient  if gifted fraction f < %.5f (q/((q−1)K))\n",
@@ -50,11 +57,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := sw.RunUntil(2000, 0); err != nil {
+	if err := sw.RunUntil(horizon, 0); err != nil {
 		return err
 	}
-	fmt.Printf("  coded swarm after t=2000:  N = %d, mean N = %.2f, decodes = %d\n",
-		sw.N(), sw.MeanPeers(), sw.Stats().Departures)
+	fmt.Printf("  coded swarm after t=%.0f:  N = %d, mean N = %.2f, decodes = %d\n",
+		horizon, sw.N(), sw.MeanPeers(), sw.Stats().Departures)
 
 	// The uncoded analogue: a fraction f of peers arrive with one random
 	// DATA piece. Theorem 1: transient for any f < 1.
@@ -73,7 +80,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if _, err := usw.RunUntil(2000, 5000); err != nil {
+	if _, err := usw.RunUntil(horizon, 5000); err != nil {
 		return err
 	}
 	fmt.Printf("  uncoded swarm after t=%.0f: N = %d (keeps growing)\n", usw.Now(), usw.N())

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -14,12 +15,18 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	quick := flag.Bool("quick", false, "short horizons (for smoke tests)")
+	flag.Parse()
+	if err := run(*quick); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(quick bool) error {
+	burnIn, horizon, nmax := 500.0, 10500.0, 40
+	if quick {
+		burnIn, horizon, nmax = 50.0, 1050.0, 20
+	}
 	// A two-piece file; empty peers arrive at rate 0.8; the fixed seed
 	// uploads at rate 1; peers contact at rate 1; a finished peer dwells
 	// as a peer seed for mean time 1/γ = 0.5 before leaving.
@@ -48,19 +55,19 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if _, err := swarm.RunUntil(500, 0); err != nil { // burn-in
+	if _, err := swarm.RunUntil(burnIn, 0); err != nil { // burn-in
 		return err
 	}
 	swarm.ResetOccupancy()
-	if _, err := swarm.RunUntil(10500, 0); err != nil {
+	if _, err := swarm.RunUntil(horizon, 0); err != nil {
 		return err
 	}
-	fmt.Printf("simulated E[N] over 10k time units: %.3f\n", swarm.MeanPeers())
+	fmt.Printf("simulated E[N] over %.0f time units: %.3f\n", horizon-burnIn, swarm.MeanPeers())
 	fmt.Printf("mean download+dwell time (Little): %.3f\n",
 		sys.MeanSojournTime(swarm.MeanPeers()))
 
 	// Exact answer from the truncated generator for comparison.
-	exact, err := sys.ExactStationary(40)
+	exact, err := sys.ExactStationary(nmax)
 	if err != nil {
 		return err
 	}

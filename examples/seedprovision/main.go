@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math"
@@ -18,12 +19,18 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	quick := flag.Bool("quick", false, "short horizons (for smoke tests)")
+	flag.Parse()
+	if err := run(*quick); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(quick bool) error {
+	burnIn, horizon := 500.0, 10500.0
+	if quick {
+		burnIn, horizon = 50.0, 1050.0
+	}
 	// Measured workload: λ0 = 3 empty peers per unit time, K = 4 pieces,
 	// peers upload at µ = 1 and leave fairly quickly (γ = 4); the operator
 	// provisioned a seed at U_s = 3.
@@ -70,11 +77,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if _, err := swarm.RunUntil(500, 0); err != nil { // burn-in
+	if _, err := swarm.RunUntil(burnIn, 0); err != nil { // burn-in
 		return err
 	}
 	swarm.ResetOccupancy()
-	if _, err := swarm.RunUntil(10500, 0); err != nil {
+	if _, err := swarm.RunUntil(horizon, 0); err != nil {
 		return err
 	}
 	fmt.Printf("\nsteady state now: E[N] ≈ %.2f peers, mean time in system ≈ %.2f\n",

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,12 +16,14 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	quick := flag.Bool("quick", false, "smaller grid and horizons (for smoke tests)")
+	flag.Parse()
+	if err := run(*quick); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(quick bool) error {
 	const us, mu = 1.0, 1.0
 	fmt.Println("Example 1 stability map: U_s=1, µ=1")
 	fmt.Println("rows: µ/γ (dwell help grows downward)  columns: λ0")
@@ -29,6 +32,12 @@ func run() error {
 
 	lambdas := []float64{0.5, 1, 1.5, 2, 2.5, 3, 4, 6, 8}
 	ratios := []float64{0, 0.2, 0.4, 0.6, 0.8, 0.95}
+	horizon := 150.0
+	if quick {
+		lambdas = []float64{0.5, 1, 2, 4, 8}
+		ratios = []float64{0, 0.4, 0.8}
+		horizon = 60
+	}
 
 	fmt.Printf("%8s |", "µ/γ \\ λ0")
 	for _, l := range lambdas {
@@ -61,7 +70,7 @@ func run() error {
 			}
 			// Cheap empirical check per cell.
 			emp, err := sys.ClassifyEmpirically(core.RunConfig{
-				Horizon: 150, PeerCap: 400, Replicas: 1, Seed: 9,
+				Horizon: horizon, PeerCap: 400, Replicas: 1, Seed: 9,
 			})
 			if err != nil {
 				return err

@@ -1,0 +1,48 @@
+package repro
+
+// Table-driven smoke coverage for the examples/ programs: build and run
+// every example main at -quick scale so `go test ./...` catches bit-rot in
+// code that otherwise has no test files. The table is discovered from the
+// examples/ directory, so a new example is covered the moment it lands —
+// as long as it accepts the conventional -quick flag.
+
+import (
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples compile and run real simulations; skipped in -short")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		found++
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			t.Parallel() // overlap the per-example go-run compiles
+			start := time.Now()
+			cmd := exec.Command("go", "run", "./examples/"+name, "-quick")
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed after %s: %v\n%s",
+					name, time.Since(start).Round(time.Millisecond), err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s produced no output", name)
+			}
+		})
+	}
+	if found == 0 {
+		t.Fatal("no example directories discovered")
+	}
+}

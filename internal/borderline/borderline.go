@@ -4,13 +4,16 @@
 // U_s = 0 and γ = ∞. The top layer (n, K−1) evolves as a zero-drift random
 // walk (E[Z] = K−1), which is the paper's evidence for null recurrence on
 // the stability borderline; this package simulates the chain and exposes
-// the diagnostics experiment E8 reports.
+// the diagnostics experiment E8 reports. The chain runs on the shared CTMC
+// event kernel as a single-class process (every embedded transition is one
+// arrival at total rate K·λ).
 package borderline
 
 import (
 	"errors"
 	"fmt"
 
+	"repro/internal/kernel"
 	"repro/internal/rng"
 )
 
@@ -23,10 +26,10 @@ type Chain struct {
 	k      int
 	lambda float64
 	r      *rng.RNG
+	kern   *kernel.Kernel
 
-	now float64
-	n   int
-	j   int
+	n int
+	j int
 
 	stats Stats
 }
@@ -58,16 +61,21 @@ func NewFromRNG(k int, lambda float64, r *rng.RNG) (*Chain, error) {
 	if !(lambda > 0) {
 		return nil, fmt.Errorf("%w: λ = %v", ErrBadParams, lambda)
 	}
-	return &Chain{k: k, lambda: lambda, r: r}, nil
+	c := &Chain{k: k, lambda: lambda, r: r}
+	c.kern = kernel.New(r, c)
+	return c, nil
 }
 
 // SetState forces the chain into state (n, j); used to start experiments on
-// the top layer directly. j must be in [1, K−1] when n ≥ 1.
+// the top layer directly. j must be in [1, K−1] when n ≥ 1. The occupancy
+// estimator re-anchors at the new state so MeanPeers never integrates the
+// pre-jump population over the post-jump path.
 func (c *Chain) SetState(n, j int) error {
 	if n < 0 || (n == 0 && j != 0) || (n > 0 && (j < 1 || j > c.k-1)) {
 		return fmt.Errorf("%w: state (%d,%d)", ErrBadParams, n, j)
 	}
 	c.n, c.j = n, j
+	c.kern.ResetOccupancy()
 	return nil
 }
 
@@ -75,21 +83,32 @@ func (c *Chain) SetState(n, j int) error {
 func (c *Chain) State() (n, j int) { return c.n, c.j }
 
 // Now returns the simulated time.
-func (c *Chain) Now() float64 { return c.now }
+func (c *Chain) Now() float64 { return c.kern.Now() }
+
+// MeanPeers returns the time-averaged population, courtesy of the kernel's
+// occupancy estimator.
+func (c *Chain) MeanPeers() float64 { return c.kern.MeanPopulation() }
 
 // Stats returns the event counters.
 func (c *Chain) Stats() Stats { return c.stats }
 
-// Step advances one embedded transition.
-func (c *Chain) Step() {
-	total := float64(c.k) * c.lambda
-	c.now += c.r.Exp(total)
+// Population implements kernel.Process.
+func (c *Chain) Population() float64 { return float64(c.n) }
+
+// Rates implements kernel.Process: a single event class — the next arrival
+// of the embedded process, at total rate K·λ.
+func (c *Chain) Rates(buf []float64) []float64 {
+	return append(buf, float64(c.k)*c.lambda)
+}
+
+// Fire implements kernel.Process: one embedded transition of Figure 3.
+func (c *Chain) Fire(int) error {
 	c.stats.Transitions++
 
 	if c.n == 0 {
 		// First arrival: one random piece.
 		c.n, c.j = 1, 1
-		return
+		return nil
 	}
 	if c.j < c.k-1 {
 		// Below the top layer. The arriving peer holds one uniform piece:
@@ -100,19 +119,19 @@ func (c *Chain) Step() {
 		// union of pieces still misses K−(j+1) ≥ 1 pieces.
 		if c.r.Intn(c.k) < c.j {
 			c.n++
-			return
+			return nil
 		}
 		c.n++
 		c.j++
 		c.stats.LayerClimbs++
-		return
+		return nil
 	}
 	// Top layer (n, K−1).
 	if c.r.Intn(c.k) < c.j {
 		// Arrival with a piece the club already has: instant catch-up.
 		c.n++
 		c.stats.TopArrivals++
-		return
+		return nil
 	}
 	// Arrival with the missing piece: the fair-coin race of Figure 3.
 	// Heads = the newcomer uploads the missing piece (one departure);
@@ -137,13 +156,23 @@ func (c *Chain) Step() {
 			c.j = 0
 			c.stats.GroupWipeouts++
 		}
-		return
+		return nil
 	}
 	// The entire club departed before the newcomer finished downloading:
 	// it remains alone with its original piece plus `tails` downloads.
 	c.n = 1
 	c.j = 1 + tails
 	c.stats.GroupWipeouts++
+	return nil
+}
+
+// Step advances one embedded transition. The total rate K·λ is constant
+// and positive, so the kernel step cannot fail; a failure would be an
+// invariant violation and panics.
+func (c *Chain) Step() {
+	if err := c.kern.Step(); err != nil {
+		panic(fmt.Sprintf("borderline: kernel step failed: %v", err))
+	}
 }
 
 // RunTransitions advances a fixed number of embedded transitions.

@@ -3,22 +3,23 @@
 // transmit uniformly random linear combinations of their coded pieces, and
 // a transfer is useful exactly when the received coding vector falls
 // outside the receiver's span. The simulator is the coded analogue of
-// internal/sim and shares its event-race structure.
+// internal/sim: it runs on the shared CTMC event kernel, with peers
+// grouped by canonical subspace and uniform peer selection through the
+// kernel's Fenwick sampler in O(log #occupied subspaces).
 package codedsim
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 
-	"repro/internal/dist"
 	"repro/internal/gf"
+	"repro/internal/kernel"
 	"repro/internal/rng"
 	"repro/internal/stability"
 )
 
-// Errors reported by the simulator.
-var ErrNoProgress = errors.New("codedsim: zero total event rate")
+// ErrNoProgress reports a zero total event rate (the kernel's sentinel).
+var ErrNoProgress = kernel.ErrNoProgress
 
 // Option configures a Swarm.
 type Option func(*config)
@@ -91,29 +92,30 @@ type Stats struct {
 	NoOps      uint64 // non-innovative contacts
 }
 
+// Event classes, in fixed kernel order.
+const (
+	evArrival = iota
+	evSeedTick
+	evPeerTick
+	evDeparture
+)
+
 // Swarm is one sample path of the coded system's CTMC, with peers grouped
 // by canonical subspace.
 type Swarm struct {
 	params stability.CodedParams
 	r      *rng.RNG
+	k      *kernel.Kernel
 
-	now    float64
-	n      int
-	groups map[string]*group
-	keys   []string // sorted; deterministic iteration
+	groups map[string]*gf.Subspace // canonical key → subspace
+	counts kernel.Counts[string]   // multiset of peers over canonical keys
 	nFull  int
 
 	arrivalWeights []float64 // per params.Arrivals, plus random-gift stream
 	randomGiftRate float64
 	fullExchange   bool
 
-	stats     Stats
-	occupancy dist.TimeAverage
-}
-
-type group struct {
-	sub   *gf.Subspace
-	count int
+	stats Stats
 }
 
 // New validates parameters and builds a coded swarm.
@@ -128,7 +130,7 @@ func New(p stability.CodedParams, opts ...Option) (*Swarm, error) {
 	s := &Swarm{
 		params:         p,
 		r:              cfg.generator(),
-		groups:         make(map[string]*group),
+		groups:         make(map[string]*gf.Subspace),
 		randomGiftRate: cfg.randomGiftRate,
 		fullExchange:   cfg.fullExchange,
 	}
@@ -143,7 +145,7 @@ func New(p stability.CodedParams, opts ...Option) (*Swarm, error) {
 			s.add(ig.sub)
 		}
 	}
-	s.occupancy.Observe(0, float64(s.n))
+	s.k = kernel.New(s.r, s)
 	return s, nil
 }
 
@@ -181,125 +183,118 @@ func validate(p stability.CodedParams, cfg config) error {
 }
 
 // Now returns the simulated time.
-func (s *Swarm) Now() float64 { return s.now }
+func (s *Swarm) Now() float64 { return s.k.Now() }
 
 // N returns the population.
-func (s *Swarm) N() int { return s.n }
+func (s *Swarm) N() int { return s.counts.Total() }
 
 // FullPeers returns the number of peers that can decode (dim = K).
 func (s *Swarm) FullPeers() int { return s.nFull }
 
 // Stats returns the event counters.
-func (s *Swarm) Stats() Stats { return s.stats }
+func (s *Swarm) Stats() Stats {
+	st := s.stats
+	st.Events = s.k.Events()
+	return st
+}
 
 // MeanPeers returns the time-averaged population.
-func (s *Swarm) MeanPeers() float64 { return s.occupancy.Value() }
+func (s *Swarm) MeanPeers() float64 { return s.k.MeanPopulation() }
 
 // ResetOccupancy restarts the E[N] estimator at the current instant.
-func (s *Swarm) ResetOccupancy() {
-	s.occupancy = dist.TimeAverage{}
-	s.occupancy.Observe(s.now, float64(s.n))
-}
+func (s *Swarm) ResetOccupancy() { s.k.ResetOccupancy() }
 
 // DimCounts returns the number of peers holding each subspace dimension,
 // indexed 0..K.
 func (s *Swarm) DimCounts() []int {
 	out := make([]int, s.params.K+1)
-	for _, g := range s.groups {
-		out[g.sub.Dim()] += g.count
-	}
+	s.counts.Each(func(key string, n int) {
+		out[s.groups[key].Dim()] += n
+	})
 	return out
 }
 
 // GroupCount returns how many distinct subspace types are occupied.
-func (s *Swarm) GroupCount() int { return len(s.groups) }
+func (s *Swarm) GroupCount() int { return s.counts.Occupied() }
 
 func (s *Swarm) add(sub *gf.Subspace) {
 	key := sub.Key()
-	g, ok := s.groups[key]
-	if !ok {
-		g = &group{sub: sub}
-		s.groups[key] = g
-		idx := sort.SearchStrings(s.keys, key)
-		s.keys = append(s.keys, "")
-		copy(s.keys[idx+1:], s.keys[idx:])
-		s.keys[idx] = key
+	if _, ok := s.groups[key]; !ok {
+		s.groups[key] = sub
 	}
-	g.count++
-	s.n++
+	s.counts.Add(key, 1)
 	if sub.IsFull() {
 		s.nFull++
 	}
 }
 
-func (s *Swarm) remove(g *group) {
-	g.count--
-	s.n--
-	if g.sub.IsFull() {
+func (s *Swarm) remove(sub *gf.Subspace) {
+	key := sub.Key()
+	s.counts.Add(key, -1)
+	if sub.IsFull() {
 		s.nFull--
 	}
-	if g.count == 0 {
-		key := g.sub.Key()
+	if s.counts.Count(key) == 0 {
 		delete(s.groups, key)
-		idx := sort.SearchStrings(s.keys, key)
-		s.keys = append(s.keys[:idx], s.keys[idx+1:]...)
 	}
 }
 
-// pickUniform returns a uniformly random peer's group (n ≥ 1 required).
-func (s *Swarm) pickUniform() *group {
-	target := s.r.Intn(s.n)
-	for _, key := range s.keys {
-		g := s.groups[key]
-		target -= g.count
-		if target < 0 {
-			return g
-		}
+// pickUniform returns a uniformly random peer's subspace in
+// O(log #occupied groups). N ≥ 1 is required; an empty swarm panics.
+func (s *Swarm) pickUniform() *gf.Subspace {
+	key, ok := s.counts.Pick(s.r)
+	if !ok {
+		panic("codedsim: pickUniform on an empty swarm")
 	}
-	return s.groups[s.keys[len(s.keys)-1]]
+	return s.groups[key]
 }
 
-// Step advances the chain by one event.
-func (s *Swarm) Step() error {
+// Population implements kernel.Process.
+func (s *Swarm) Population() float64 { return float64(s.counts.Total()) }
+
+// Rates implements kernel.Process.
+func (s *Swarm) Rates(buf []float64) []float64 {
+	n := s.counts.Total()
 	lambdaTotal := s.randomGiftRate
 	for _, a := range s.params.Arrivals {
 		lambdaTotal += a.Rate
 	}
-	seedRate := 0.0
-	if s.n > 0 {
-		seedRate = s.params.Us
+	seed := 0.0
+	if n > 0 {
+		seed = s.params.Us
 	}
-	peerRate := s.params.Mu * float64(s.n)
-	depRate := 0.0
+	peer := s.params.Mu * float64(n)
+	dep := 0.0
 	if !s.params.GammaInf() {
-		depRate = s.params.Gamma * float64(s.nFull)
+		dep = s.params.Gamma * float64(s.nFull)
 	}
-	total := lambdaTotal + seedRate + peerRate + depRate
-	if total <= 0 {
-		return ErrNoProgress
-	}
-	s.now += s.r.Exp(total)
-	s.stats.Events++
+	return append(buf, lambdaTotal, seed, peer, dep)
+}
 
-	u := s.r.Float64() * total
-	switch {
-	case u < lambdaTotal:
+// Fire implements kernel.Process.
+func (s *Swarm) Fire(class int) error {
+	switch class {
+	case evArrival:
 		s.stepArrival()
-	case u < lambdaTotal+seedRate:
+	case evSeedTick:
 		s.stepSeedTick()
-	case u < lambdaTotal+seedRate+peerRate:
+	case evPeerTick:
 		s.stepPeerTick()
-	default:
+	case evDeparture:
 		s.stepDeparture()
+	default:
+		panic(fmt.Sprintf("codedsim: unknown event class %d", class))
 	}
-	s.occupancy.Observe(s.now, float64(s.n))
 	return nil
 }
+
+// Step advances the chain by one event.
+func (s *Swarm) Step() error { return s.k.Step() }
 
 func (s *Swarm) stepArrival() {
 	idx, err := s.r.Categorical(s.arrivalWeights)
 	if err != nil {
-		return
+		panic(fmt.Sprintf("codedsim: arrival draw failed on validated weights: %v", err))
 	}
 	s.stats.Arrivals++
 	if idx < len(s.params.Arrivals) {
@@ -313,7 +308,7 @@ func (s *Swarm) stepArrival() {
 	}
 	sub, err := gf.SpanOf(s.params.Field, s.params.K, v)
 	if err != nil {
-		return
+		panic(fmt.Sprintf("codedsim: span of drawn gift vector failed: %v", err))
 	}
 	s.add(sub)
 }
@@ -327,12 +322,12 @@ func (s *Swarm) stepSeedTick() {
 		for i := range v {
 			v[i] = s.r.Intn(s.params.Field.Order())
 		}
-		if !s.fullExchange || target.sub.IsFull() || tries >= 256 {
+		if !s.fullExchange || target.IsFull() || tries >= 256 {
 			s.deliver(target, v)
 			return
 		}
 		// Remark 16: the informed seed only sends innovative pieces.
-		in, err := target.sub.Contains(v)
+		in, err := target.Contains(v)
 		if err == nil && !in {
 			s.deliver(target, v)
 			return
@@ -343,7 +338,7 @@ func (s *Swarm) stepSeedTick() {
 func (s *Swarm) stepPeerTick() {
 	uploader := s.pickUniform()
 	target := s.pickUniform()
-	if uploader == target && uploader.count == 1 {
+	if uploader == target && s.counts.Count(uploader.Key()) == 1 {
 		// A single peer cannot usefully contact itself; and even with
 		// count > 1 a same-subspace transfer is never innovative.
 		s.stats.NoOps++
@@ -353,7 +348,7 @@ func (s *Swarm) stepPeerTick() {
 		s.deliverInformed(target, uploader)
 		return
 	}
-	v := uploader.sub.RandomVector(s.r)
+	v := uploader.RandomVector(s.r)
 	s.deliver(target, v)
 }
 
@@ -361,15 +356,15 @@ func (s *Swarm) stepPeerTick() {
 // exchanged, any helpful uploader (V_B ⊄ V_A) delivers an innovative piece
 // with certainty. We realize it by rejection-sampling an innovative vector
 // from the uploader's subspace, which exists whenever help is possible.
-func (s *Swarm) deliverInformed(target, uploader *group) {
-	sub, err := uploader.sub.SubsetOf(target.sub)
+func (s *Swarm) deliverInformed(target, uploader *gf.Subspace) {
+	sub, err := uploader.SubsetOf(target)
 	if err != nil || sub {
 		s.stats.NoOps++
 		return
 	}
 	for tries := 0; tries < 256; tries++ {
-		v := uploader.sub.RandomVector(s.r)
-		in, err := target.sub.Contains(v)
+		v := uploader.RandomVector(s.r)
+		in, err := target.Contains(v)
 		if err != nil {
 			s.stats.NoOps++
 			return
@@ -384,13 +379,13 @@ func (s *Swarm) deliverInformed(target, uploader *group) {
 }
 
 // deliver adds coded piece v to the target group's subspace if innovative.
-func (s *Swarm) deliver(target *group, v gf.Vec) {
-	in, err := target.sub.Contains(v)
+func (s *Swarm) deliver(target *gf.Subspace, v gf.Vec) {
+	in, err := target.Contains(v)
 	if err != nil || in {
 		s.stats.NoOps++
 		return
 	}
-	next, err := target.sub.Add(v)
+	next, err := target.Add(v)
 	if err != nil {
 		s.stats.NoOps++
 		return
@@ -406,11 +401,10 @@ func (s *Swarm) deliver(target *group, v gf.Vec) {
 
 func (s *Swarm) stepDeparture() {
 	if s.nFull == 0 {
-		return
+		return // round-off fallback fired the class at zero rate
 	}
-	// Uniform among full peers; full groups may be split across keys only
-	// if multiple canonical keys are full, which cannot happen (the full
-	// subspace is unique), so take it directly.
+	// Uniform among full peers; the full subspace has a unique canonical
+	// key, so all of them live in one group.
 	full := gf.FullSubspace(s.params.Field, s.params.K)
 	g, ok := s.groups[full.Key()]
 	if !ok {
@@ -422,8 +416,8 @@ func (s *Swarm) stepDeparture() {
 
 // RunUntil advances until the time or population limit fires.
 func (s *Swarm) RunUntil(maxTime float64, maxPeers int) error {
-	for s.now < maxTime {
-		if maxPeers > 0 && s.n >= maxPeers {
+	for s.Now() < maxTime {
+		if maxPeers > 0 && s.counts.Total() >= maxPeers {
 			return nil
 		}
 		if err := s.Step(); err != nil {
@@ -448,15 +442,15 @@ func (s *Swarm) Trace(maxTime, interval float64, maxPeers int) ([]TracePoint, er
 		return nil, errors.New("codedsim: trace interval must be positive")
 	}
 	var out []TracePoint
-	next := s.now
-	for s.now < maxTime {
-		for s.now >= next {
+	next := s.Now()
+	for s.Now() < maxTime {
+		for s.Now() >= next {
 			out = append(out, TracePoint{
-				T: next, N: s.n, Full: s.nFull, Dims: s.DimCounts(),
+				T: next, N: s.counts.Total(), Full: s.nFull, Dims: s.DimCounts(),
 			})
 			next += interval
 		}
-		if maxPeers > 0 && s.n >= maxPeers {
+		if maxPeers > 0 && s.counts.Total() >= maxPeers {
 			break
 		}
 		if err := s.Step(); err != nil {

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"repro/internal/engine"
+	"repro/internal/kernel"
 	"repro/internal/markov"
 	"repro/internal/model"
 	"repro/internal/sim"
@@ -106,6 +107,10 @@ type RunConfig struct {
 	Seed uint64
 	// Policy overrides the piece-selection policy (default random useful).
 	Policy sim.Policy
+	// Scenario overlays workload dynamics — a time-varying arrival profile
+	// and/or churn of not-yet-complete peers — on every replica. The zero
+	// value runs the plain stationary model.
+	Scenario kernel.Scenario
 	// BurnIn discards this much initial time from occupancy averaging
 	// (default Horizon/5).
 	BurnIn float64
@@ -134,6 +139,9 @@ func (c *RunConfig) normalize() error {
 	}
 	if c.Policy == nil {
 		c.Policy = sim.RandomUseful{}
+	}
+	if err := c.Scenario.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
 	if c.BurnIn <= 0 || c.BurnIn >= c.Horizon {
 		c.BurnIn = c.Horizon / 5
@@ -179,9 +187,10 @@ func (s *System) ClassifyEmpirically(cfg RunConfig) (Empirical, error) {
 		return Empirical{}, err
 	}
 	backend := &engine.SwarmBackend{
-		Label:   "classify",
-		Params:  s.params,
-		Options: []sim.Option{sim.WithPolicy(cfg.Policy)},
+		Label:    "classify",
+		Params:   s.params,
+		Options:  []sim.Option{sim.WithPolicy(cfg.Policy)},
+		Scenario: cfg.Scenario,
 		Measure: func(ctx context.Context, rep int, sw *sim.Swarm) (engine.Sample, error) {
 			reason, err := sw.RunUntil(cfg.BurnIn, cfg.PeerCap)
 			if err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/borderline"
 	"repro/internal/codedsim"
+	"repro/internal/kernel"
 	"repro/internal/peersim"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -27,6 +28,9 @@ type SwarmBackend struct {
 	// Options are extra swarm options (policy, initial peers). The engine
 	// appends its own WithRNG last, so a WithSeed here is overridden.
 	Options []sim.Option
+	// Scenario, when active, overlays time-varying arrivals and churn on
+	// every replica (equivalent to a sim.WithScenario option).
+	Scenario kernel.Scenario
 	// Measure runs the replica on the fresh swarm and extracts its sample.
 	Measure func(ctx context.Context, rep int, sw *sim.Swarm) (Sample, error)
 }
@@ -39,7 +43,11 @@ func (b *SwarmBackend) RunReplica(ctx context.Context, rep int, r *rng.RNG) (Sam
 	if b.Measure == nil {
 		return nil, ErrNoMeasure
 	}
-	opts := append(append([]sim.Option{}, b.Options...), sim.WithRNG(r))
+	opts := append([]sim.Option{}, b.Options...)
+	if b.Scenario.Active() {
+		opts = append(opts, sim.WithScenario(b.Scenario))
+	}
+	opts = append(opts, sim.WithRNG(r))
 	sw, err := sim.New(b.Params, opts...)
 	if err != nil {
 		return nil, err
@@ -54,7 +62,9 @@ type RecoveryBackend struct {
 	Params  model.Params
 	Eta     float64
 	Options []sim.Option
-	Measure func(ctx context.Context, rep int, sw *sim.RecoverySwarm) (Sample, error)
+	// Scenario, when active, overlays time-varying arrivals and churn.
+	Scenario kernel.Scenario
+	Measure  func(ctx context.Context, rep int, sw *sim.RecoverySwarm) (Sample, error)
 }
 
 // Name implements Backend.
@@ -65,7 +75,11 @@ func (b *RecoveryBackend) RunReplica(ctx context.Context, rep int, r *rng.RNG) (
 	if b.Measure == nil {
 		return nil, ErrNoMeasure
 	}
-	opts := append(append([]sim.Option{}, b.Options...), sim.WithRNG(r))
+	opts := append([]sim.Option{}, b.Options...)
+	if b.Scenario.Active() {
+		opts = append(opts, sim.WithScenario(b.Scenario))
+	}
+	opts = append(opts, sim.WithRNG(r))
 	sw, err := sim.NewRecovery(b.Params, b.Eta, opts...)
 	if err != nil {
 		return nil, err
@@ -103,7 +117,9 @@ type PeerBackend struct {
 	Label   string
 	Params  model.Params
 	Options []peersim.Option
-	Measure func(ctx context.Context, rep int, sw *peersim.Swarm) (Sample, error)
+	// Scenario, when active, overlays time-varying arrivals and churn.
+	Scenario kernel.Scenario
+	Measure  func(ctx context.Context, rep int, sw *peersim.Swarm) (Sample, error)
 }
 
 // Name implements Backend.
@@ -114,7 +130,11 @@ func (b *PeerBackend) RunReplica(ctx context.Context, rep int, r *rng.RNG) (Samp
 	if b.Measure == nil {
 		return nil, ErrNoMeasure
 	}
-	opts := append(append([]peersim.Option{}, b.Options...), peersim.WithRNG(r))
+	opts := append([]peersim.Option{}, b.Options...)
+	if b.Scenario.Active() {
+		opts = append(opts, peersim.WithScenario(b.Scenario))
+	}
+	opts = append(opts, peersim.WithRNG(r))
 	sw, err := peersim.New(b.Params, opts...)
 	if err != nil {
 		return nil, err

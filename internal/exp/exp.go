@@ -1,9 +1,10 @@
-// Package exp defines the reproduction experiments E1–E14 that regenerate
+// Package exp defines the reproduction experiments E1–E15 that regenerate
 // every quantitative artifact of the paper (the worked examples of Section
 // IV, the missing-piece growth law of Sections V–VI, the Theorem 15 coding
-// thresholds, and the Section VIII-D borderline process), each as a
-// self-contained table generator. The cmd/experiments binary renders all of
-// them; the bench harness times them; EXPERIMENTS.md records their output.
+// thresholds, and the Section VIII-D borderline process) plus the scenario
+// extensions (flash crowds, churn), each as a self-contained table
+// generator. The cmd/experiments binary renders all of them; the bench
+// harness times them; EXPERIMENTS.md records their output.
 package exp
 
 import (
@@ -35,6 +36,12 @@ type Config struct {
 	Sink engine.Sink
 	// Context cancels long experiments mid-run (nil = background).
 	Context context.Context
+	// FlashPeak overrides the E15 flash-crowd peak arrival multiplier
+	// (<= 0 uses the experiment's default of 6).
+	FlashPeak float64
+	// Churn overrides the E15 per-downloader abandonment rate δ
+	// (<= 0 uses the experiment's default of 0.5).
+	Churn float64
 }
 
 func (c Config) seed() uint64 {
@@ -176,6 +183,7 @@ func All() []Experiment {
 		{ID: "E12", Title: "Threshold (3) ≡ ∆_S (4) equivalence", Artifact: "remark after Theorem 1", Run: RunE12},
 		{ID: "E13", Title: "Quasi-stability longevity before one-club onset", Artifact: "Section IX future work", Run: RunE13},
 		{ID: "E14", Title: "Heavy-traffic approach to the stability boundary", Artifact: "Theorem 1 boundary (extension)", Run: RunE14},
+		{ID: "E15", Title: "Scenario layer: flash-crowd ramp and downloader churn", Artifact: "kernel scenario layer (extension)", Run: RunE15},
 	}
 }
 

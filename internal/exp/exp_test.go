@@ -8,8 +8,8 @@ import (
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 14 {
-		t.Fatalf("expected 14 experiments, got %d", len(all))
+	if len(all) != 15 {
+		t.Fatalf("expected 15 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -128,11 +128,34 @@ func TestE13Quick(t *testing.T) {
 
 func TestE14Quick(t *testing.T) { checkNoDisagreement(t, "E14") }
 
+func TestE15Quick(t *testing.T) {
+	tb := checkNoDisagreement(t, "E15")
+	if len(tb.Rows) != 4 {
+		t.Errorf("E15 rows = %d, want 4", len(tb.Rows))
+	}
+	// The flash-crowd row must actually surge: its peak population should
+	// dwarf the no-overlay stable baseline's.
+	base, flash := tb.Rows[0], tb.Rows[1]
+	if base[1] != "none" || flash[1] != "flash crowd" {
+		t.Fatalf("unexpected row layout: %v / %v", base[1], flash[1])
+	}
+}
+
+func TestE15Knobs(t *testing.T) {
+	tb, err := RunE15(Config{Quick: true, Seed: 1, FlashPeak: 9, Churn: 1.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb.Title, "×9") || !strings.Contains(tb.Title, "δ=1.25") {
+		t.Errorf("knobs not reflected in title: %s", tb.Title)
+	}
+}
+
 // TestTableDeterminismAcrossWorkers pins the engine contract at the table
 // level: for a fixed seed the rendered experiment output must be identical
 // for 1, 2, and 8 workers (also exercised under -race in CI).
 func TestTableDeterminismAcrossWorkers(t *testing.T) {
-	for _, id := range []string{"E5", "E8", "E9", "E13"} {
+	for _, id := range []string{"E5", "E8", "E9", "E13", "E15"} {
 		e, err := ByID(id)
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,122 @@
+// Package kernel is the shared CTMC event engine under every simulator in
+// the repository. It owns the simulation clock, the exponential holding
+// times, the race-of-exponentials branch selection, the event counter, and
+// the occupancy (time-averaged population) estimator; a simulator plugs in
+// as a Process that reports its per-class event rates and fires the chosen
+// transition. The package also provides the Fenwick-tree weighted samplers
+// (Counts, Weighted) that make "pick a uniform peer / categorical type /
+// rate-weighted branch" O(log n), and the scenario layer (Scenario,
+// FlashCrowd) for time-varying workloads.
+//
+// Determinism contract: a kernel step consumes exactly one Exp variate and
+// one Float64 variate from the stream before handing control to
+// Process.Fire, which may consume more; every draw is a pure function of
+// the stream, so two kernels over identical processes and identically
+// seeded streams replay bit-for-bit. The parallel Monte-Carlo engine
+// (internal/engine) relies on this to keep replicated tables byte-identical
+// across worker counts.
+package kernel
+
+import (
+	"errors"
+
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+// ErrNoProgress reports a zero total event rate: the chain has no enabled
+// transition and simulated time cannot advance.
+var ErrNoProgress = errors.New("kernel: zero total event rate")
+
+// Process is one continuous-time Markov chain plugged into the kernel.
+// Implementations are the four simulators (type-count, peer-granular,
+// network-coded, borderline) and any future workload.
+type Process interface {
+	// Rates appends the current per-class event rates to buf and returns
+	// it. The class order must be fixed for the lifetime of the process;
+	// individual rates may be zero. For thinned (time-varying) classes the
+	// reported rate is the upper bound and Fire rejects the excess.
+	Rates(buf []float64) []float64
+	// Fire executes one event of the given class. It runs after the clock
+	// has advanced, so the process sees the event's timestamp. An error
+	// aborts the step and surfaces from Kernel.Step.
+	Fire(class int) error
+	// Population returns the observable the kernel's occupancy estimator
+	// tracks (the number of peers, for every simulator in this repo).
+	Population() float64
+}
+
+// Kernel advances one Process event by event. It is not safe for
+// concurrent use; the parallel engine runs one kernel per replica stream.
+type Kernel struct {
+	r      *rng.RNG
+	proc   Process
+	now    float64
+	events uint64
+	rates  []float64
+	occ    dist.TimeAverage
+}
+
+// New builds a kernel driving proc from the given stream and records the
+// initial occupancy observation at time zero.
+func New(r *rng.RNG, proc Process) *Kernel {
+	k := &Kernel{r: r, proc: proc}
+	k.occ.Observe(0, proc.Population())
+	return k
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() float64 { return k.now }
+
+// Events returns the number of events processed (including no-ops).
+func (k *Kernel) Events() uint64 { return k.events }
+
+// RNG returns the kernel's stream, shared with the process's sub-draws.
+func (k *Kernel) RNG() *rng.RNG { return k.r }
+
+// MeanPopulation returns the time-averaged population since construction
+// or the last ResetOccupancy — the estimator for E[N].
+func (k *Kernel) MeanPopulation() float64 { return k.occ.Value() }
+
+// ResetOccupancy restarts the E[N] estimator at the current instant,
+// discarding burn-in.
+func (k *Kernel) ResetOccupancy() {
+	k.occ = dist.TimeAverage{}
+	k.occ.Observe(k.now, k.proc.Population())
+}
+
+// Step advances the chain by exactly one event (which may be a no-op):
+// query rates, draw the holding time against the total, select the class
+// by one uniform draw over the cumulative rates, fire, observe occupancy.
+func (k *Kernel) Step() error {
+	k.rates = k.proc.Rates(k.rates[:0])
+	var total float64
+	for _, r := range k.rates {
+		total += r
+	}
+	if total <= 0 {
+		return ErrNoProgress
+	}
+	k.now += k.r.Exp(total)
+	k.events++
+
+	u := k.r.Float64() * total
+	class := -1
+	for i, r := range k.rates {
+		if r <= 0 {
+			continue
+		}
+		class = i
+		u -= r
+		if u < 0 {
+			break
+		}
+	}
+	// Floating-point round-off can leave u >= 0 after the loop; class then
+	// holds the last positive-rate entry, the race's closest boundary.
+	if err := k.proc.Fire(class); err != nil {
+		return err
+	}
+	k.occ.Observe(k.now, k.proc.Population())
+	return nil
+}

@@ -1,0 +1,226 @@
+package kernel
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// birthDeath is a minimal M/M/∞-like test process: arrivals at rate lambda,
+// departures at rate mu per individual.
+type birthDeath struct {
+	lambda, mu float64
+	n          int
+	k          *Kernel
+	fires      []int
+}
+
+func (p *birthDeath) Rates(buf []float64) []float64 {
+	return append(buf, p.lambda, p.mu*float64(p.n))
+}
+
+func (p *birthDeath) Fire(class int) error {
+	p.fires = append(p.fires, class)
+	switch class {
+	case 0:
+		p.n++
+	case 1:
+		if p.n == 0 {
+			return errors.New("death with no individuals")
+		}
+		p.n--
+	}
+	return nil
+}
+
+func (p *birthDeath) Population() float64 { return float64(p.n) }
+
+func TestKernelDeterministicReplay(t *testing.T) {
+	run := func() ([]int, float64) {
+		p := &birthDeath{lambda: 2, mu: 1}
+		k := New(rng.New(11), p)
+		p.k = k
+		for i := 0; i < 5000; i++ {
+			if err := k.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return p.fires, k.Now()
+	}
+	fa, ta := run()
+	fb, tb := run()
+	if ta != tb {
+		t.Fatalf("clocks diverge: %v vs %v", ta, tb)
+	}
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("event %d differs across identical replays", i)
+		}
+	}
+}
+
+func TestKernelEquilibrium(t *testing.T) {
+	// M/M/∞ with λ=5, µ=1 has stationary E[N] = 5.
+	p := &birthDeath{lambda: 5, mu: 1}
+	k := New(rng.New(7), p)
+	p.k = k
+	for k.Now() < 50 { // burn-in
+		if err := k.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.ResetOccupancy()
+	for k.Now() < 3000 {
+		if err := k.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := k.MeanPopulation(); math.Abs(got-5) > 0.5 {
+		t.Errorf("E[N] = %v, want ≈ 5", got)
+	}
+	if k.Events() == 0 {
+		t.Error("no events counted")
+	}
+}
+
+func TestKernelMeanHoldingTime(t *testing.T) {
+	// At n=0 only arrivals race: total rate λ=4, mean holding time 1/4.
+	var total float64
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		p := &birthDeath{lambda: 4, mu: 1}
+		k := New(rng.New(uint64(i)+1), p)
+		if err := k.Step(); err != nil {
+			t.Fatal(err)
+		}
+		total += k.Now()
+	}
+	if mean := total / trials; math.Abs(mean-0.25) > 0.01 {
+		t.Errorf("mean holding time = %v, want 0.25", mean)
+	}
+}
+
+func TestKernelNoProgress(t *testing.T) {
+	p := &birthDeath{lambda: 0, mu: 1} // n=0: total rate zero
+	k := New(rng.New(1), p)
+	if err := k.Step(); !errors.Is(err, ErrNoProgress) {
+		t.Fatalf("err = %v, want ErrNoProgress", err)
+	}
+}
+
+func TestKernelFireErrorSurfaces(t *testing.T) {
+	errProc := processFunc{
+		rates: func(buf []float64) []float64 { return append(buf, 1) },
+		fire:  func(int) error { return errors.New("boom") },
+	}
+	k := New(rng.New(1), errProc)
+	if err := k.Step(); err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+type processFunc struct {
+	rates func([]float64) []float64
+	fire  func(int) error
+}
+
+func (p processFunc) Rates(buf []float64) []float64 { return p.rates(buf) }
+func (p processFunc) Fire(class int) error          { return p.fire(class) }
+func (p processFunc) Population() float64           { return 0 }
+
+// TestKernelSkipsZeroRateClasses: a zero-rate class between positive ones
+// must never fire, and round-off fallback lands on a positive-rate class.
+func TestKernelSkipsZeroRateClasses(t *testing.T) {
+	fired := map[int]int{}
+	proc := processFunc{
+		rates: func(buf []float64) []float64 { return append(buf, 1, 0, 2, 0) },
+		fire:  func(class int) error { fired[class]++; return nil },
+	}
+	k := New(rng.New(3), proc)
+	for i := 0; i < 5000; i++ {
+		if err := k.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fired[1] > 0 || fired[3] > 0 {
+		t.Fatalf("zero-rate class fired: %v", fired)
+	}
+	ratio := float64(fired[2]) / float64(fired[0])
+	if math.Abs(ratio-2) > 0.3 {
+		t.Errorf("class ratio = %v, want ≈ 2", ratio)
+	}
+}
+
+func TestFlashCrowdProfile(t *testing.T) {
+	f := FlashCrowd{Start: 10, Rise: 5, Hold: 20, Fall: 5, Peak: 6}
+	cases := []struct{ t, want float64 }{
+		{0, 1}, {10, 1}, {12.5, 3.5}, {15, 6}, {30, 6}, {37.5, 3.5}, {40, 1}, {100, 1},
+	}
+	for _, c := range cases {
+		if got := f.At(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if f.Max() != 6 {
+		t.Errorf("Max = %v", f.Max())
+	}
+	if (FlashCrowd{Peak: 0.5}).Max() != 1 {
+		t.Error("Max must bound the off-event multiplier 1")
+	}
+}
+
+func TestScenarioValidateAndHelpers(t *testing.T) {
+	if err := (Scenario{}).Validate(); err != nil {
+		t.Errorf("zero scenario invalid: %v", err)
+	}
+	if (Scenario{}).Active() {
+		t.Error("zero scenario active")
+	}
+	s := Scenario{Arrival: FlashCrowd{Start: 1, Rise: 1, Hold: 1, Fall: 1, Peak: 4}, Churn: 0.5}
+	if !s.Active() || s.ArrivalBound() != 4 || s.ArrivalAt(0) != 1 {
+		t.Error("scenario helpers wrong")
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("valid scenario rejected: %v", err)
+	}
+	if err := (Scenario{Churn: -1}).Validate(); err == nil {
+		t.Error("negative churn accepted")
+	}
+	if err := (Scenario{Churn: math.Inf(1)}).Validate(); err == nil {
+		t.Error("infinite churn accepted")
+	}
+	if err := (Scenario{Arrival: FlashCrowd{Peak: math.Inf(1)}}).Validate(); err == nil {
+		t.Error("unbounded profile accepted")
+	}
+}
+
+// TestScenarioThinningLaw: the thinned arrival stream through a kernel
+// process must reproduce the profile's integrated intensity.
+func TestScenarioThinningLaw(t *testing.T) {
+	sc := Scenario{Arrival: FlashCrowd{Start: 100, Rise: 10, Hold: 30, Fall: 10, Peak: 5}}
+	const base = 2.0
+	accepted := 0
+	var k *Kernel
+	proc := processFunc{
+		rates: func(buf []float64) []float64 { return append(buf, base*sc.ArrivalBound()) },
+		fire: func(int) error {
+			if sc.AcceptArrival(k.RNG(), k.Now()) {
+				accepted++
+			}
+			return nil
+		},
+	}
+	k = New(rng.New(21), proc)
+	for k.Now() < 200 {
+		if err := k.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// ∫λ(t)dt = 2·(200 + (5−1)·(10/2 + 30 + 10/2)) = 2·360 = 720.
+	want := 720.0
+	if got := float64(accepted); math.Abs(got-want) > 4*math.Sqrt(want) {
+		t.Errorf("accepted arrivals = %v, want ≈ %v", got, want)
+	}
+}

@@ -1,0 +1,117 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// ErrBadScenario reports an invalid scenario configuration.
+var ErrBadScenario = errors.New("kernel: invalid scenario")
+
+// Profile is a deterministic time-varying multiplier applied to a base
+// rate. Implementations must be pure functions of time with a finite upper
+// bound: the kernel simulates the inhomogeneous stream by thinning — the
+// process races at rate base·Max() and Fire accepts an event at time t
+// with probability At(t)/Max().
+type Profile interface {
+	// At returns the multiplier at time t, in [0, Max()].
+	At(t float64) float64
+	// Max returns a finite upper bound of At over all t.
+	Max() float64
+}
+
+// FlashCrowd is a piecewise-linear arrival ramp: the multiplier is 1
+// outside the event, climbs linearly to Peak over Rise time units starting
+// at Start, holds the plateau for Hold, and descends back to 1 over Fall.
+// It models the paper's motivating scenario — a new file release drawing a
+// surge of arrivals that the swarm must absorb and recover from.
+type FlashCrowd struct {
+	Start float64 // ramp-up begins
+	Rise  float64 // ramp-up duration
+	Hold  float64 // plateau duration
+	Fall  float64 // ramp-down duration
+	Peak  float64 // multiplier at the plateau
+}
+
+// At implements Profile.
+func (f FlashCrowd) At(t float64) float64 {
+	switch {
+	case t <= f.Start:
+		return 1
+	case t < f.Start+f.Rise:
+		return 1 + (f.Peak-1)*(t-f.Start)/f.Rise
+	case t <= f.Start+f.Rise+f.Hold:
+		return f.Peak
+	case t < f.Start+f.Rise+f.Hold+f.Fall:
+		return f.Peak + (1-f.Peak)*(t-f.Start-f.Rise-f.Hold)/f.Fall
+	default:
+		return 1
+	}
+}
+
+// Max implements Profile.
+func (f FlashCrowd) Max() float64 { return math.Max(1, f.Peak) }
+
+// Scenario overlays workload dynamics the base model does not have: a
+// time-varying arrival-rate profile (flash crowds) and peer churn
+// (abandonment of not-yet-complete peers at a per-peer rate). The zero
+// value is the plain stationary model. Simulators accept a Scenario
+// through their WithScenario option; the engine backends, core.RunConfig,
+// and cmd/experiments flags forward one uniformly.
+type Scenario struct {
+	// Arrival, when non-nil, multiplies every arrival rate by Arrival.At(t).
+	Arrival Profile
+	// Churn is the abandonment rate per not-yet-complete peer: each
+	// downloader independently leaves before completing after an
+	// exponential time with this rate (0 disables churn).
+	Churn float64
+}
+
+// Active reports whether the scenario changes anything.
+func (s Scenario) Active() bool { return s.Arrival != nil || s.Churn > 0 }
+
+// Validate rejects non-finite or negative scenario parameters.
+func (s Scenario) Validate() error {
+	if s.Churn < 0 || math.IsNaN(s.Churn) || math.IsInf(s.Churn, 0) {
+		return fmt.Errorf("%w: churn rate %v", ErrBadScenario, s.Churn)
+	}
+	if s.Arrival != nil {
+		m := s.Arrival.Max()
+		if !(m > 0) || math.IsInf(m, 0) {
+			return fmt.Errorf("%w: arrival profile bound %v", ErrBadScenario, m)
+		}
+	}
+	return nil
+}
+
+// ArrivalBound returns the thinning bound for the arrival class: the
+// factor by which the base arrival rate races ahead of the true
+// time-varying rate (1 when no profile is set).
+func (s Scenario) ArrivalBound() float64 {
+	if s.Arrival == nil {
+		return 1
+	}
+	return s.Arrival.Max()
+}
+
+// ArrivalAt returns the instantaneous arrival multiplier at time t.
+func (s Scenario) ArrivalAt(t float64) float64 {
+	if s.Arrival == nil {
+		return 1
+	}
+	return s.Arrival.At(t)
+}
+
+// AcceptArrival performs the thinning draw for an arrival candidate at
+// time t: true with probability At(t)/Max(). With no profile set it
+// accepts without consuming randomness, preserving the stationary model's
+// draw sequence exactly.
+func (s Scenario) AcceptArrival(r *rng.RNG, t float64) bool {
+	if s.Arrival == nil {
+		return true
+	}
+	return r.Bernoulli(s.Arrival.At(t) / s.Arrival.Max())
+}

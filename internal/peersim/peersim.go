@@ -7,22 +7,24 @@
 // (E[N] = λ·E[T]) ties the per-peer view back to occupancy.
 //
 // The price of the peer-granular view is O(population) memory; internal/sim
-// remains the tool for instability studies where N diverges.
+// remains the tool for instability studies where N diverges. Both run on
+// the shared CTMC event kernel (internal/kernel); peersim's uniform peer
+// selection is O(1) array indexing, so it needs no Fenwick sampler.
 package peersim
 
 import (
-	"errors"
 	"fmt"
 
 	"repro/internal/dist"
+	"repro/internal/kernel"
 	"repro/internal/model"
 	"repro/internal/pieceset"
 	"repro/internal/rng"
 	"repro/internal/sim"
 )
 
-// ErrNoProgress reports a zero total event rate.
-var ErrNoProgress = errors.New("peersim: zero total event rate")
+// ErrNoProgress reports a zero total event rate (the kernel's sentinel).
+var ErrNoProgress = kernel.ErrNoProgress
 
 // notCompleted marks a peer that has not yet collected all pieces.
 const notCompleted = -1
@@ -40,9 +42,10 @@ type peer struct {
 type Option func(*config)
 
 type config struct {
-	seed   uint64
-	rng    *rng.RNG
-	policy sim.Policy
+	seed     uint64
+	rng      *rng.RNG
+	policy   sim.Policy
+	scenario kernel.Scenario
 }
 
 // WithSeed sets the RNG seed (default 1).
@@ -65,14 +68,30 @@ func (c *config) generator() *rng.RNG {
 // WithPolicy sets the piece-selection policy (default random useful).
 func WithPolicy(p sim.Policy) Option { return func(c *config) { c.policy = p } }
 
+// WithScenario overlays workload dynamics: a time-varying arrival profile
+// (thinned) and churn of not-yet-complete peers. Churned peers count as
+// departures for the sojourn statistics (they were in the system), but
+// never contribute download or dwell times.
+func WithScenario(s kernel.Scenario) Option { return func(c *config) { c.scenario = s } }
+
+// Event classes, in fixed kernel order.
+const (
+	evArrival = iota
+	evSeedTick
+	evPeerTick
+	evDeparture
+	evChurn
+)
+
 // Swarm is a peer-granular sample path of the model.
 type Swarm struct {
-	params model.Params
-	policy sim.Policy
-	r      *rng.RNG
-	full   pieceset.Set
+	params   model.Params
+	policy   sim.Policy
+	scenario kernel.Scenario
+	r        *rng.RNG
+	k        *kernel.Kernel
+	full     pieceset.Set
 
-	now     float64
 	peers   []peer
 	seedIdx []int // indices of completed peers (peer seeds)
 	pieces  []int // holders per piece
@@ -86,8 +105,9 @@ type Swarm struct {
 	sojournTimes  dist.Summary // arrival → departure
 	uploadsMade   dist.Summary // uploads contributed per departed peer
 
-	occupancy dist.TimeAverage
 	departed  int
+	abandoned int
+	thinned   uint64
 }
 
 // New validates parameters and builds a swarm.
@@ -99,23 +119,27 @@ func New(p model.Params, opts ...Option) (*Swarm, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	if err := cfg.scenario.Validate(); err != nil {
+		return nil, fmt.Errorf("peersim: %w", err)
+	}
 	s := &Swarm{
-		params: p,
-		policy: cfg.policy,
-		r:      cfg.generator(),
-		full:   pieceset.Full(p.K),
-		pieces: make([]int, p.K),
+		params:   p,
+		policy:   cfg.policy,
+		scenario: cfg.scenario,
+		r:        cfg.generator(),
+		full:     pieceset.Full(p.K),
+		pieces:   make([]int, p.K),
 	}
 	for _, c := range p.ArrivalTypes() {
 		s.arrivalTypes = append(s.arrivalTypes, c)
 		s.arrivalWeights = append(s.arrivalWeights, p.Lambda[c])
 	}
-	s.occupancy.Observe(0, 0)
+	s.k = kernel.New(s.r, s)
 	return s, nil
 }
 
 // Now returns the simulated time.
-func (s *Swarm) Now() float64 { return s.now }
+func (s *Swarm) Now() float64 { return s.k.Now() }
 
 // N returns the population.
 func (s *Swarm) N() int { return len(s.peers) }
@@ -123,8 +147,15 @@ func (s *Swarm) N() int { return len(s.peers) }
 // PeerSeeds returns the number of completed peers still in the system.
 func (s *Swarm) PeerSeeds() int { return len(s.seedIdx) }
 
-// Departed returns the number of peers that have left.
+// Departed returns the number of peers that have left (including churned).
 func (s *Swarm) Departed() int { return s.departed }
+
+// Abandoned returns the number of peers lost to scenario churn.
+func (s *Swarm) Abandoned() int { return s.abandoned }
+
+// Thinned returns the number of arrival candidates rejected by a
+// time-varying arrival profile.
+func (s *Swarm) Thinned() uint64 { return s.thinned }
 
 // Holders returns the number of peers holding the piece.
 func (s *Swarm) Holders(piece int) int {
@@ -135,7 +166,7 @@ func (s *Swarm) Holders(piece int) int {
 }
 
 // MeanPeers returns the time-averaged population.
-func (s *Swarm) MeanPeers() float64 { return s.occupancy.Value() }
+func (s *Swarm) MeanPeers() float64 { return s.k.MeanPopulation() }
 
 // DownloadTimes returns statistics of arrival→completion times over
 // departed peers. (Peers that arrived with the full file contribute zero.)
@@ -164,9 +195,9 @@ func (s *Swarm) TypeCounts() map[pieceset.Set]int {
 
 // addPeer admits a peer of the given type at the current time.
 func (s *Swarm) addPeer(c pieceset.Set) {
-	p := peer{set: c, arrived: s.now, completed: notCompleted, seedPos: -1}
+	p := peer{set: c, arrived: s.k.Now(), completed: notCompleted, seedPos: -1}
 	if c == s.full {
-		p.completed = s.now
+		p.completed = s.k.Now()
 		p.seedPos = len(s.seedIdx)
 		s.seedIdx = append(s.seedIdx, len(s.peers))
 	}
@@ -180,11 +211,11 @@ func (s *Swarm) addPeer(c pieceset.Set) {
 func (s *Swarm) removePeer(i int) {
 	p := s.peers[i]
 	s.departed++
-	s.sojournTimes.Add(s.now - p.arrived)
+	s.sojournTimes.Add(s.k.Now() - p.arrived)
 	if p.completed != notCompleted {
 		s.downloadTimes.Add(p.completed - p.arrived)
 		if !s.params.GammaInf() {
-			s.dwellTimes.Add(s.now - p.completed)
+			s.dwellTimes.Add(s.k.Now() - p.completed)
 		}
 	}
 	s.uploadsMade.Add(float64(p.uploads))
@@ -214,38 +245,50 @@ func (s *Swarm) unregisterSeed(pos int) {
 	s.seedIdx = s.seedIdx[:last]
 }
 
-// Step advances one event.
-func (s *Swarm) Step() error {
-	lambdaTotal := s.params.LambdaTotal()
+// Population implements kernel.Process.
+func (s *Swarm) Population() float64 { return float64(len(s.peers)) }
+
+// Rates implements kernel.Process.
+func (s *Swarm) Rates(buf []float64) []float64 {
 	n := len(s.peers)
-	seedRate := 0.0
+	arrival := s.params.LambdaTotal() * s.scenario.ArrivalBound()
+	seed := 0.0
 	if n > 0 {
-		seedRate = s.params.Us
+		seed = s.params.Us
 	}
 	peerRate := s.params.Mu * float64(n)
-	depRate := 0.0
+	dep := 0.0
 	if !s.params.GammaInf() {
-		depRate = s.params.Gamma * float64(len(s.seedIdx))
+		dep = s.params.Gamma * float64(len(s.seedIdx))
 	}
-	total := lambdaTotal + seedRate + peerRate + depRate
-	if total <= 0 {
-		return ErrNoProgress
+	churn := 0.0
+	if s.scenario.Churn > 0 {
+		churn = s.scenario.Churn * float64(n-len(s.seedIdx))
 	}
-	s.now += s.r.Exp(total)
+	return append(buf, arrival, seed, peerRate, dep, churn)
+}
 
-	u := s.r.Float64() * total
-	switch {
-	case u < lambdaTotal:
-		if idx, err := s.r.Categorical(s.arrivalWeights); err == nil {
-			s.addPeer(s.arrivalTypes[idx])
+// Fire implements kernel.Process.
+func (s *Swarm) Fire(class int) error {
+	n := len(s.peers)
+	switch class {
+	case evArrival:
+		if !s.scenario.AcceptArrival(s.r, s.k.Now()) {
+			s.thinned++
+			return nil
 		}
-	case u < lambdaTotal+seedRate:
+		idx, err := s.r.Categorical(s.arrivalWeights)
+		if err != nil {
+			panic(fmt.Sprintf("peersim: arrival draw failed on validated weights: %v", err))
+		}
+		s.addPeer(s.arrivalTypes[idx])
+	case evSeedTick:
 		target := s.r.Intn(n)
 		useful := s.peers[target].set.Complement(s.params.K)
 		if !useful.IsEmpty() {
 			s.deliver(target, -1, useful)
 		}
-	case u < lambdaTotal+seedRate+peerRate:
+	case evPeerTick:
 		uploader := s.r.Intn(n)
 		target := s.r.Intn(n)
 		if uploader != target {
@@ -254,21 +297,44 @@ func (s *Swarm) Step() error {
 				s.deliver(target, uploader, useful)
 			}
 		}
-	default:
+	case evDeparture:
 		if len(s.seedIdx) > 0 {
 			s.removePeer(s.seedIdx[s.r.Intn(len(s.seedIdx))])
 		}
+	case evChurn:
+		s.stepChurn()
+	default:
+		panic(fmt.Sprintf("peersim: unknown event class %d", class))
 	}
-	s.occupancy.Observe(s.now, float64(len(s.peers)))
 	return nil
 }
+
+// stepChurn removes one uniformly random not-yet-complete peer, by
+// rejection against the seed set (the churn rate is proportional to the
+// incomplete count, so a candidate exists whenever the class fires).
+func (s *Swarm) stepChurn() {
+	if len(s.peers) == len(s.seedIdx) {
+		return // round-off fallback fired the class at zero rate
+	}
+	for {
+		i := s.r.Intn(len(s.peers))
+		if s.peers[i].completed == notCompleted {
+			s.removePeer(i)
+			s.abandoned++
+			return
+		}
+	}
+}
+
+// Step advances one event.
+func (s *Swarm) Step() error { return s.k.Step() }
 
 // deliver uploads one policy-chosen piece to peer `target`; uploader is the
 // index of the uploading peer or -1 for the fixed seed.
 func (s *Swarm) deliver(target, uploader int, useful pieceset.Set) {
 	piece, err := s.policy.SelectPiece(s.r, useful, s.Holders)
 	if err != nil {
-		return
+		panic(fmt.Sprintf("peersim: policy failed on non-empty useful set %v: %v", useful, err))
 	}
 	if uploader >= 0 {
 		s.peers[uploader].uploads++
@@ -279,7 +345,7 @@ func (s *Swarm) deliver(target, uploader int, useful pieceset.Set) {
 	if p.set != s.full {
 		return
 	}
-	p.completed = s.now
+	p.completed = s.k.Now()
 	if s.params.GammaInf() {
 		s.removePeer(target)
 		return
@@ -290,7 +356,7 @@ func (s *Swarm) deliver(target, uploader int, useful pieceset.Set) {
 
 // RunUntil advances until the time or population limit fires.
 func (s *Swarm) RunUntil(maxTime float64, maxPeers int) error {
-	for s.now < maxTime {
+	for s.Now() < maxTime {
 		if maxPeers > 0 && len(s.peers) >= maxPeers {
 			return nil
 		}

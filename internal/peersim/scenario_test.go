@@ -1,0 +1,85 @@
+package peersim
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/model"
+	"repro/internal/pieceset"
+)
+
+func scParams(lambda0 float64) model.Params {
+	return model.Params{
+		K: 2, Us: 1, Mu: 1, Gamma: 2,
+		Lambda: map[pieceset.Set]float64{pieceset.Empty: lambda0},
+	}
+}
+
+// TestPeerChurnBoundsTransientSystem mirrors the type-count scenario test
+// at peer granularity: abandonment bounds an otherwise growing population,
+// and churned peers land in the sojourn statistics but never in the
+// download statistics.
+func TestPeerChurnBoundsTransientSystem(t *testing.T) {
+	s, err := New(scParams(8), WithSeed(3), WithScenario(kernel.Scenario{Churn: 1.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntil(250, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.N(); n > 120 {
+		t.Errorf("churned system grew to %d peers", n)
+	}
+	if s.Abandoned() == 0 {
+		t.Error("no abandonments recorded")
+	}
+	if s.SojournTimes().N() < s.Abandoned() {
+		t.Errorf("sojourn stats (%d) missing churned departures (%d)",
+			s.SojournTimes().N(), s.Abandoned())
+	}
+	if s.DownloadTimes().N() > s.Departed()-s.Abandoned() {
+		t.Errorf("download stats (%d) include churned peers (departed %d, churned %d)",
+			s.DownloadTimes().N(), s.Departed(), s.Abandoned())
+	}
+}
+
+// TestPeerFlashCrowdRecovers: the peer-granular swarm absorbs a flash
+// crowd and drains back to the stationary level.
+func TestPeerFlashCrowdRecovers(t *testing.T) {
+	sc := kernel.Scenario{Arrival: kernel.FlashCrowd{Start: 50, Rise: 10, Hold: 40, Fall: 10, Peak: 8}}
+	s, err := New(scParams(0.8), WithSeed(4), WithScenario(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntil(50, 0); err != nil {
+		t.Fatal(err)
+	}
+	peak := 0
+	for s.Now() < 110 {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if s.N() > peak {
+			peak = s.N()
+		}
+	}
+	if err := s.RunUntil(400, 0); err != nil {
+		t.Fatal(err)
+	}
+	if peak < 50 {
+		t.Errorf("flash peak N = %d, expected a surge well above steady state", peak)
+	}
+	if after := s.N(); after > 40 {
+		t.Errorf("population %d did not drain after the flash", after)
+	}
+	if s.Thinned() == 0 {
+		t.Error("no arrival candidates thinned despite a time-varying profile")
+	}
+}
+
+// TestScenarioValidationPeer: invalid scenarios are rejected.
+func TestScenarioValidationPeer(t *testing.T) {
+	if _, err := New(scParams(1), WithScenario(kernel.Scenario{Churn: -2})); err == nil {
+		t.Error("negative churn accepted")
+	}
+}

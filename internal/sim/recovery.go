@@ -3,9 +3,8 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"sort"
 
-	"repro/internal/dist"
+	"repro/internal/kernel"
 	"repro/internal/model"
 	"repro/internal/pieceset"
 	"repro/internal/rng"
@@ -16,26 +15,28 @@ import (
 // a factor η > 1 until its next tick; a successful tick restores the normal
 // rate. The variant is still a CTMC — the state just carries one extra bit
 // per peer ("fast") — and this simulator tracks counts over (type, speed)
-// pairs exactly. η = 1 recovers the original model, which tests exploit.
+// pairs exactly, as a kernel process: uniform peer selection goes through
+// the Fenwick count sampler and tick-rate-weighted uploader selection
+// through the Fenwick weight sampler, both O(log #occupied keys).
+// η = 1 recovers the original model, which tests exploit.
 type RecoverySwarm struct {
-	params model.Params
-	eta    float64
-	policy Policy
-	r      *rng.RNG
-	full   pieceset.Set
+	params   model.Params
+	eta      float64
+	policy   Policy
+	scenario kernel.Scenario
+	r        *rng.RNG
+	k        *kernel.Kernel
+	full     pieceset.Set
 
-	now      float64
-	n        int
-	counts   map[speedType]int
-	keys     []speedType // sorted; deterministic iteration
+	peers    kernel.Counts[speedType]   // multiset of (type, speed) keys
+	ticks    kernel.Weighted[speedType] // contact-clock rate per key
 	pieces   []int
 	seedFast bool // fixed seed's clock state
 
 	arrivalTypes   []pieceset.Set
 	arrivalWeights []float64
 
-	stats     Stats
-	occupancy dist.TimeAverage
+	stats Stats
 }
 
 // speedType is a peer type plus its clock speed state.
@@ -44,12 +45,14 @@ type speedType struct {
 	fast bool
 }
 
-func (a speedType) less(b speedType) bool {
-	if a.c != b.c {
-		return a.c < b.c
-	}
-	return !a.fast && b.fast
-}
+// Recovery event classes, in fixed kernel order.
+const (
+	revArrival = iota
+	revSeedTick
+	revPeerTick
+	revDeparture
+	revChurn
+)
 
 // NewRecovery builds a fast-recovery swarm with speed-up factor eta ≥ 1.
 func NewRecovery(p model.Params, eta float64, opts ...Option) (*RecoverySwarm, error) {
@@ -63,14 +66,17 @@ func NewRecovery(p model.Params, eta float64, opts ...Option) (*RecoverySwarm, e
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	if err := cfg.scenario.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
 	s := &RecoverySwarm{
-		params: p,
-		eta:    eta,
-		policy: cfg.policy,
-		r:      cfg.generator(),
-		full:   pieceset.Full(p.K),
-		counts: make(map[speedType]int),
-		pieces: make([]int, p.K),
+		params:   p,
+		eta:      eta,
+		policy:   cfg.policy,
+		scenario: cfg.scenario,
+		r:        cfg.generator(),
+		full:     pieceset.Full(p.K),
+		pieces:   make([]int, p.K),
 	}
 	for _, c := range p.ArrivalTypes() {
 		s.arrivalTypes = append(s.arrivalTypes, c)
@@ -87,30 +93,37 @@ func NewRecovery(p model.Params, eta float64, opts ...Option) (*RecoverySwarm, e
 			s.add(speedType{c: c})
 		}
 	}
-	s.occupancy.Observe(0, float64(s.n))
+	s.k = kernel.New(s.r, s)
 	return s, nil
 }
 
 // Now returns the simulated time.
-func (s *RecoverySwarm) Now() float64 { return s.now }
+func (s *RecoverySwarm) Now() float64 { return s.k.Now() }
 
 // N returns the population.
-func (s *RecoverySwarm) N() int { return s.n }
+func (s *RecoverySwarm) N() int { return s.peers.Total() }
 
 // MeanPeers returns the time-averaged population.
-func (s *RecoverySwarm) MeanPeers() float64 { return s.occupancy.Value() }
+func (s *RecoverySwarm) MeanPeers() float64 { return s.k.MeanPopulation() }
+
+// ResetOccupancy restarts the E[N] estimator at the current instant.
+func (s *RecoverySwarm) ResetOccupancy() { s.k.ResetOccupancy() }
 
 // Stats returns the event counters.
-func (s *RecoverySwarm) Stats() Stats { return s.stats }
+func (s *RecoverySwarm) Stats() Stats {
+	st := s.stats
+	st.Events = s.k.Events()
+	return st
+}
 
 // FastPeers returns how many peers currently run sped-up clocks.
 func (s *RecoverySwarm) FastPeers() int {
 	total := 0
-	for k, v := range s.counts {
+	s.peers.Each(func(k speedType, v int) {
 		if k.fast {
 			total += v
 		}
-	}
+	})
 	return total
 }
 
@@ -120,7 +133,7 @@ func (s *RecoverySwarm) OneClub(piece int) int {
 		return 0
 	}
 	c := s.full.Without(piece)
-	return s.counts[speedType{c: c}] + s.counts[speedType{c: c, fast: true}]
+	return s.peers.Count(speedType{c: c}) + s.peers.Count(speedType{c: c, fast: true})
 }
 
 // Holders returns the number of peers holding the piece.
@@ -133,31 +146,20 @@ func (s *RecoverySwarm) Holders(piece int) int {
 
 // CountOf returns the peers of a given piece-set type (both speeds).
 func (s *RecoverySwarm) CountOf(c pieceset.Set) int {
-	return s.counts[speedType{c: c}] + s.counts[speedType{c: c, fast: true}]
+	return s.peers.Count(speedType{c: c}) + s.peers.Count(speedType{c: c, fast: true})
 }
 
 func (s *RecoverySwarm) add(k speedType) {
-	if s.counts[k] == 0 {
-		idx := sort.Search(len(s.keys), func(i int) bool { return !s.keys[i].less(k) })
-		s.keys = append(s.keys, speedType{})
-		copy(s.keys[idx+1:], s.keys[idx:])
-		s.keys[idx] = k
-	}
-	s.counts[k]++
-	s.n++
+	s.peers.Add(k, 1)
+	s.ticks.Set(k, float64(s.peers.Count(k))*s.tickWeight(k))
 	for _, p := range k.c.Pieces() {
 		s.pieces[p-1]++
 	}
 }
 
 func (s *RecoverySwarm) remove(k speedType) {
-	s.counts[k]--
-	if s.counts[k] == 0 {
-		delete(s.counts, k)
-		idx := sort.Search(len(s.keys), func(i int) bool { return !s.keys[i].less(k) })
-		s.keys = append(s.keys[:idx], s.keys[idx+1:]...)
-	}
-	s.n--
+	s.peers.Add(k, -1)
+	s.ticks.Set(k, float64(s.peers.Count(k))*s.tickWeight(k))
 	for _, p := range k.c.Pieces() {
 		s.pieces[p-1]--
 	}
@@ -171,83 +173,113 @@ func (s *RecoverySwarm) tickWeight(k speedType) float64 {
 	return s.params.Mu
 }
 
-// pickUniform returns a uniformly random peer's key (n ≥ 1 required).
+// pickUniform returns a uniformly random peer's key (N ≥ 1 required).
 func (s *RecoverySwarm) pickUniform() speedType {
-	target := s.r.Intn(s.n)
-	for _, k := range s.keys {
-		target -= s.counts[k]
-		if target < 0 {
-			return k
-		}
+	k, ok := s.peers.Pick(s.r)
+	if !ok {
+		panic("sim: pickUniform on an empty recovery swarm")
 	}
-	return s.keys[len(s.keys)-1]
+	return k
 }
 
-// pickByTickRate returns a peer key weighted by clock rate, given the
-// precomputed total tick rate.
-func (s *RecoverySwarm) pickByTickRate(totalTick float64) speedType {
-	u := s.r.Float64() * totalTick
-	for _, k := range s.keys {
-		u -= float64(s.counts[k]) * s.tickWeight(k)
-		if u < 0 {
-			return k
+// pickByTickRate returns a peer key weighted by clock rate.
+func (s *RecoverySwarm) pickByTickRate() speedType {
+	k, ok := s.ticks.Pick(s.r)
+	if !ok {
+		panic("sim: pickByTickRate with zero total tick rate")
+	}
+	return k
+}
+
+// Population implements kernel.Process.
+func (s *RecoverySwarm) Population() float64 { return float64(s.peers.Total()) }
+
+// Rates implements kernel.Process.
+func (s *RecoverySwarm) Rates(buf []float64) []float64 {
+	n := s.peers.Total()
+	arrival := s.params.LambdaTotal() * s.scenario.ArrivalBound()
+	seed := 0.0
+	if n > 0 {
+		seed = s.params.Us
+		if s.seedFast {
+			seed *= s.eta
 		}
 	}
-	return s.keys[len(s.keys)-1]
+	peer := s.ticks.Total()
+	dep := 0.0
+	nSeeds := s.seedCount()
+	if !s.params.GammaInf() {
+		dep = s.params.Gamma * float64(nSeeds)
+	}
+	churn := 0.0
+	if s.scenario.Churn > 0 {
+		churn = s.scenario.Churn * float64(n-nSeeds)
+	}
+	return append(buf, arrival, seed, peer, dep, churn)
+}
+
+func (s *RecoverySwarm) seedCount() int {
+	return s.peers.Count(speedType{c: s.full}) + s.peers.Count(speedType{c: s.full, fast: true})
+}
+
+// Fire implements kernel.Process.
+func (s *RecoverySwarm) Fire(class int) error {
+	switch class {
+	case revArrival:
+		s.stepArrival()
+	case revSeedTick:
+		s.seedTick()
+	case revPeerTick:
+		s.peerTick()
+	case revDeparture:
+		s.stepDeparture()
+	case revChurn:
+		s.stepChurn()
+	default:
+		panic(fmt.Sprintf("sim: unknown recovery event class %d", class))
+	}
+	return nil
 }
 
 // Step advances one event.
-func (s *RecoverySwarm) Step() error {
-	lambdaTotal := s.params.LambdaTotal()
-	seedRate := 0.0
-	if s.n > 0 {
-		seedRate = s.params.Us
-		if s.seedFast {
-			seedRate *= s.eta
-		}
-	}
-	var peerRate float64
-	for _, k := range s.keys {
-		peerRate += float64(s.counts[k]) * s.tickWeight(k)
-	}
-	depRate := 0.0
-	fullSlow, fullFast := speedType{c: s.full}, speedType{c: s.full, fast: true}
-	if !s.params.GammaInf() {
-		depRate = s.params.Gamma * float64(s.counts[fullSlow]+s.counts[fullFast])
-	}
-	total := lambdaTotal + seedRate + peerRate + depRate
-	if total <= 0 {
-		return ErrNoProgress
-	}
-	s.now += s.r.Exp(total)
-	s.stats.Events++
+func (s *RecoverySwarm) Step() error { return s.k.Step() }
 
-	u := s.r.Float64() * total
-	switch {
-	case u < lambdaTotal:
-		idx, err := s.r.Categorical(s.arrivalWeights)
-		if err == nil {
-			s.add(speedType{c: s.arrivalTypes[idx]})
-			s.stats.Arrivals++
-		}
-	case u < lambdaTotal+seedRate:
-		s.seedTick()
-	case u < lambdaTotal+seedRate+peerRate:
-		s.peerTick(peerRate)
-	default:
-		// Remove a random peer seed, uniform over both speed states.
-		nSeeds := s.counts[fullSlow] + s.counts[fullFast]
-		if nSeeds > 0 {
-			k := fullSlow
-			if s.r.Intn(nSeeds) >= s.counts[fullSlow] {
-				k = fullFast
-			}
-			s.remove(k)
-			s.stats.Departures++
-		}
+func (s *RecoverySwarm) stepArrival() {
+	if !s.scenario.AcceptArrival(s.r, s.k.Now()) {
+		s.stats.Thinned++
+		return
 	}
-	s.occupancy.Observe(s.now, float64(s.n))
-	return nil
+	idx, err := s.r.Categorical(s.arrivalWeights)
+	if err != nil {
+		panic(fmt.Sprintf("sim: arrival draw failed on validated weights: %v", err))
+	}
+	s.add(speedType{c: s.arrivalTypes[idx]})
+	s.stats.Arrivals++
+}
+
+func (s *RecoverySwarm) stepDeparture() {
+	// Remove a random peer seed, uniform over both speed states.
+	fullSlow, fullFast := speedType{c: s.full}, speedType{c: s.full, fast: true}
+	nSeeds := s.peers.Count(fullSlow) + s.peers.Count(fullFast)
+	if nSeeds == 0 {
+		return // round-off fallback fired the class at zero rate
+	}
+	k := fullSlow
+	if s.r.Intn(nSeeds) >= s.peers.Count(fullSlow) {
+		k = fullFast
+	}
+	s.remove(k)
+	s.stats.Departures++
+}
+
+// stepChurn removes one uniformly random not-yet-complete peer.
+func (s *RecoverySwarm) stepChurn() {
+	k, ok := s.peers.PickExcluding(s.r, speedType{c: s.full}, speedType{c: s.full, fast: true})
+	if !ok {
+		return // round-off fallback fired the class at zero rate
+	}
+	s.remove(k)
+	s.stats.Churned++
 }
 
 func (s *RecoverySwarm) seedTick() {
@@ -262,8 +294,8 @@ func (s *RecoverySwarm) seedTick() {
 	s.upload(target, useful)
 }
 
-func (s *RecoverySwarm) peerTick(totalTick float64) {
-	uploader := s.pickByTickRate(totalTick)
+func (s *RecoverySwarm) peerTick() {
+	uploader := s.pickByTickRate()
 	target := s.pickUniform()
 	useful := uploader.c.Minus(target.c)
 	if useful.IsEmpty() {
@@ -279,7 +311,7 @@ func (s *RecoverySwarm) peerTick(totalTick float64) {
 	if uploader.fast {
 		s.remove(uploader)
 		s.add(speedType{c: uploader.c})
-		if uploader.c == target.c && s.counts[target] == 0 {
+		if uploader.c == target.c && s.peers.Count(target) == 0 {
 			// The uploader was the only peer left under the target's exact
 			// key; re-read the target from its slow twin.
 			target = speedType{c: target.c}
@@ -293,13 +325,12 @@ func (s *RecoverySwarm) peerTick(totalTick float64) {
 func (s *RecoverySwarm) upload(target speedType, useful pieceset.Set) {
 	piece, err := s.policy.SelectPiece(s.r, useful, s.Holders)
 	if err != nil {
-		s.stats.NoOps++
-		return
+		panic(fmt.Sprintf("sim: policy failed on non-empty useful set %v: %v", useful, err))
 	}
-	if s.counts[target] == 0 {
+	if s.peers.Count(target) == 0 {
 		// Defensive: the target key vanished during uploader state churn.
 		alt := speedType{c: target.c, fast: !target.fast}
-		if s.counts[alt] == 0 {
+		if s.peers.Count(alt) == 0 {
 			return
 		}
 		target = alt
@@ -316,8 +347,8 @@ func (s *RecoverySwarm) upload(target speedType, useful pieceset.Set) {
 
 // RunUntil advances until time or population limits are hit.
 func (s *RecoverySwarm) RunUntil(maxTime float64, maxPeers int) (StopReason, error) {
-	for s.now < maxTime {
-		if maxPeers > 0 && s.n >= maxPeers {
+	for s.Now() < maxTime {
+		if maxPeers > 0 && s.N() >= maxPeers {
 			return StopPeers, nil
 		}
 		if err := s.Step(); err != nil {

@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/model"
+	"repro/internal/pieceset"
+)
+
+// TestFlashCrowdSpikesAndRecovers: a stable Example 1 system hit by a ×8
+// arrival ramp grows through the event and drains back afterwards.
+func TestFlashCrowdSpikesAndRecovers(t *testing.T) {
+	p := ex1Params(1, 1, 1, 2) // threshold 2: stable at λ0 = 1
+	sc := kernel.Scenario{Arrival: kernel.FlashCrowd{Start: 100, Rise: 10, Hold: 60, Fall: 10, Peak: 8}}
+	s, err := New(p, WithSeed(5), WithScenario(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunUntil(100, 0); err != nil {
+		t.Fatal(err)
+	}
+	before := s.N()
+	peak := 0
+	for s.Now() < 180 {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if s.N() > peak {
+			peak = s.N()
+		}
+	}
+	if _, err := s.RunUntil(600, 0); err != nil {
+		t.Fatal(err)
+	}
+	after := s.N()
+	// During the flash, λ_eff = 8 > λ0* = 2, so the backlog builds at drift
+	// ≈ 6/unit for ~70 units; the steady state holds only a handful of
+	// peers on either side of the event.
+	if peak < before+100 {
+		t.Errorf("flash peak N = %d, barely above pre-flash %d", peak, before)
+	}
+	if after > 60 {
+		t.Errorf("population %d did not drain after the flash", after)
+	}
+	if s.Stats().Thinned == 0 {
+		t.Error("no arrival candidates thinned despite a time-varying profile")
+	}
+}
+
+// TestChurnStabilizesTransientSystem: λ0 above the Example 1 threshold is
+// transient, but per-downloader abandonment bounds the population like an
+// M/M/∞ queue (N ≲ λ/δ).
+func TestChurnStabilizesTransientSystem(t *testing.T) {
+	p := ex1Params(6, 1, 1, 2) // threshold 2: transient, drift ≈ 4/unit
+	s, err := New(p, WithSeed(6), WithScenario(kernel.Scenario{Churn: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunUntil(300, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.N(); n > 100 {
+		t.Errorf("churned system grew to %d peers (unchurned drift predicts ~1200)", n)
+	}
+	st := s.Stats()
+	if st.Churned == 0 {
+		t.Error("no churn events recorded")
+	}
+	// Flow conservation with the churn channel included.
+	if st.Arrivals-st.Departures-st.Churned != uint64(s.N()) {
+		t.Errorf("flow conservation: %d arrivals − %d departures − %d churned ≠ %d peers",
+			st.Arrivals, st.Departures, st.Churned, s.N())
+	}
+}
+
+// TestChurnNeverRemovesSeeds: churn targets not-yet-complete peers only.
+func TestChurnNeverRemovesSeeds(t *testing.T) {
+	p := model.Params{
+		K: 2, Us: 2, Mu: 1, Gamma: 0.05, // long seed dwell: seeds accumulate
+		Lambda: map[pieceset.Set]float64{pieceset.Empty: 1},
+	}
+	s, err := New(p, WithSeed(7), WithScenario(kernel.Scenario{Churn: 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawSeeds := false
+	for i := 0; i < 30000; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if s.PeerSeeds() > 0 {
+			sawSeeds = true
+		}
+	}
+	if !sawSeeds {
+		t.Error("system never held a peer seed; churn test vacuous")
+	}
+	st := s.Stats()
+	if st.Churned == 0 {
+		t.Error("no churn despite δ = 5")
+	}
+}
+
+// TestScenarioDeterministicReplay: scenario runs replay bit-for-bit.
+func TestScenarioDeterministicReplay(t *testing.T) {
+	p := ex1Params(1, 1, 1, 2)
+	sc := kernel.Scenario{
+		Arrival: kernel.FlashCrowd{Start: 10, Rise: 5, Hold: 20, Fall: 5, Peak: 4},
+		Churn:   0.2,
+	}
+	mk := func() *Swarm {
+		s, err := New(p, WithSeed(31), WithScenario(sc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 20000; i++ {
+		if err := a.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if a.N() != b.N() || a.Now() != b.Now() {
+			t.Fatalf("scenario paths diverge at step %d", i)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Error("stats diverge between identical scenario replays")
+	}
+}
+
+// TestScenarioValidation: invalid scenarios are rejected at construction.
+func TestScenarioValidation(t *testing.T) {
+	p := ex1Params(1, 1, 1, 2)
+	if _, err := New(p, WithScenario(kernel.Scenario{Churn: -1})); err == nil {
+		t.Error("negative churn accepted")
+	}
+	if _, err := NewRecovery(p, 2, WithScenario(kernel.Scenario{Churn: -1})); err == nil {
+		t.Error("negative churn accepted by recovery swarm")
+	}
+}
+
+// TestRecoveryScenarioSmoke: the fast-recovery variant accepts the same
+// scenario overlay and keeps its invariants under churn and flash load.
+func TestRecoveryScenarioSmoke(t *testing.T) {
+	p := ex1Params(4, 1, 1, 2)
+	sc := kernel.Scenario{
+		Arrival: kernel.FlashCrowd{Start: 20, Rise: 5, Hold: 30, Fall: 5, Peak: 5},
+		Churn:   0.8,
+	}
+	s, err := NewRecovery(p, 3, WithSeed(12), WithScenario(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30000; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if s.N() < 0 || s.FastPeers() > s.N() {
+			t.Fatalf("invariant broke: N=%d fast=%d", s.N(), s.FastPeers())
+		}
+	}
+	st := s.Stats()
+	if st.Churned == 0 || st.Arrivals == 0 {
+		t.Errorf("scenario channels silent: %+v", st)
+	}
+	if st.Arrivals-st.Departures-st.Churned != uint64(s.N()) {
+		t.Errorf("flow conservation: %+v vs N=%d", st, s.N())
+	}
+}

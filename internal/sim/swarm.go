@@ -3,9 +3,8 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"sort"
 
-	"repro/internal/dist"
+	"repro/internal/kernel"
 	"repro/internal/model"
 	"repro/internal/pieceset"
 	"repro/internal/rng"
@@ -14,7 +13,9 @@ import (
 // Errors reported by the simulator.
 var (
 	ErrTooManyPieces = errors.New("sim: dense snapshot limited to K <= 16")
-	ErrNoProgress    = errors.New("sim: zero total event rate")
+	// ErrNoProgress reports a zero total event rate; it is the kernel's
+	// sentinel so errors.Is works across every kernel-backed simulator.
+	ErrNoProgress = kernel.ErrNoProgress
 )
 
 // StopReason explains why RunUntil returned.
@@ -45,16 +46,19 @@ type Stats struct {
 	Departures uint64 // peers that left (seed dwell expiry or γ=∞ completion)
 	Uploads    uint64 // successful piece transfers (seed or peer uploads)
 	NoOps      uint64 // contacts that found no useful piece
+	Thinned    uint64 // arrival candidates rejected by a time-varying profile
+	Churned    uint64 // not-yet-complete peers lost to scenario churn
 }
 
 // Option configures a Swarm.
 type Option func(*config)
 
 type config struct {
-	seed    uint64
-	rng     *rng.RNG
-	policy  Policy
-	initial map[pieceset.Set]int
+	seed     uint64
+	rng      *rng.RNG
+	policy   Policy
+	initial  map[pieceset.Set]int
+	scenario kernel.Scenario
 }
 
 // WithSeed sets the deterministic RNG seed (default 1).
@@ -72,6 +76,13 @@ func WithRNG(r *rng.RNG) Option {
 // WithPolicy sets the piece-selection policy (default RandomUseful).
 func WithPolicy(p Policy) Option {
 	return func(c *config) { c.policy = p }
+}
+
+// WithScenario overlays workload dynamics on the stationary model: a
+// time-varying arrival profile (flash crowds, simulated by thinning) and
+// churn of not-yet-complete peers. The zero scenario is the plain model.
+func WithScenario(s kernel.Scenario) Option {
+	return func(c *config) { c.scenario = s }
 }
 
 // WithInitialPeers seeds the swarm with pre-existing peers by type, e.g. a
@@ -94,26 +105,35 @@ func (c *config) generator() *rng.RNG {
 	return rng.New(c.seed)
 }
 
-// Swarm is one sample path of the model's CTMC, advanced event by event.
-// It tracks peers by type only (the chain is exchangeable across peers of a
-// type), so memory is O(#occupied types) regardless of population.
-type Swarm struct {
-	params model.Params
-	policy Policy
-	r      *rng.RNG
-	full   pieceset.Set
+// Event classes of the type-count process, in fixed kernel order.
+const (
+	evArrival = iota
+	evSeedTick
+	evPeerTick
+	evDeparture
+	evChurn
+)
 
-	now    float64
-	n      int
-	counts map[pieceset.Set]int
-	types  []pieceset.Set // sorted keys of counts; deterministic iteration
-	pieces []int          // pieces[i] = holders of piece i+1
+// Swarm is one sample path of the model's CTMC, advanced event by event on
+// the shared kernel. It tracks peers by type only (the chain is
+// exchangeable across peers of a type), so memory is O(#occupied types)
+// regardless of population, and type selection is O(log #occupied types)
+// through the kernel's Fenwick sampler.
+type Swarm struct {
+	params   model.Params
+	policy   Policy
+	scenario kernel.Scenario
+	r        *rng.RNG
+	k        *kernel.Kernel
+	full     pieceset.Set
+
+	peers  kernel.Counts[pieceset.Set] // multiset of peer types
+	pieces []int                       // pieces[i] = holders of piece i+1
 
 	arrivalTypes   []pieceset.Set
 	arrivalWeights []float64
 
-	stats     Stats
-	occupancy dist.TimeAverage
+	stats Stats
 }
 
 // New validates the parameters and builds a swarm.
@@ -125,32 +145,34 @@ func New(p model.Params, opts ...Option) (*Swarm, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	if err := cfg.scenario.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
 	s := &Swarm{
-		params: p,
-		policy: cfg.policy,
-		r:      cfg.generator(),
-		full:   pieceset.Full(p.K),
-		counts: make(map[pieceset.Set]int),
-		pieces: make([]int, p.K),
+		params:   p,
+		policy:   cfg.policy,
+		scenario: cfg.scenario,
+		r:        cfg.generator(),
+		full:     pieceset.Full(p.K),
+		pieces:   make([]int, p.K),
 	}
 	for _, c := range p.ArrivalTypes() {
 		s.arrivalTypes = append(s.arrivalTypes, c)
 		s.arrivalWeights = append(s.arrivalWeights, p.Lambda[c])
 	}
-	full := pieceset.Full(p.K)
 	for c, count := range cfg.initial {
-		if count < 0 || !c.SubsetOf(full) {
+		if count < 0 || !c.SubsetOf(s.full) {
 			return nil, fmt.Errorf("sim: invalid initial peers %v x %d", c, count)
 		}
 		if count == 0 {
 			continue
 		}
-		if c == full && p.GammaInf() {
+		if c == s.full && p.GammaInf() {
 			return nil, errors.New("sim: initial peer seeds impossible when γ = ∞")
 		}
 		s.addPeers(c, count)
 	}
-	s.occupancy.Observe(0, float64(s.n))
+	s.k = kernel.New(s.r, s)
 	return s, nil
 }
 
@@ -160,17 +182,20 @@ func (s *Swarm) Params() model.Params { return s.params }
 // Policy returns the active piece-selection policy.
 func (s *Swarm) Policy() Policy { return s.policy }
 
+// Scenario returns the workload overlay (zero value when none).
+func (s *Swarm) Scenario() kernel.Scenario { return s.scenario }
+
 // Now returns the current simulated time.
-func (s *Swarm) Now() float64 { return s.now }
+func (s *Swarm) Now() float64 { return s.k.Now() }
 
 // N returns the current number of peers.
-func (s *Swarm) N() int { return s.n }
+func (s *Swarm) N() int { return s.peers.Total() }
 
 // CountOf returns the number of type-c peers.
-func (s *Swarm) CountOf(c pieceset.Set) int { return s.counts[c] }
+func (s *Swarm) CountOf(c pieceset.Set) int { return s.peers.Count(c) }
 
 // PeerSeeds returns x_F, the number of peers holding the full collection.
-func (s *Swarm) PeerSeeds() int { return s.counts[s.full] }
+func (s *Swarm) PeerSeeds() int { return s.peers.Count(s.full) }
 
 // Holders returns the number of peers holding piece p (0 out of range).
 func (s *Swarm) Holders(piece int) int {
@@ -181,7 +206,7 @@ func (s *Swarm) Holders(piece int) int {
 }
 
 // Missing returns the number of peers missing piece p.
-func (s *Swarm) Missing(piece int) int { return s.n - s.Holders(piece) }
+func (s *Swarm) Missing(piece int) int { return s.N() - s.Holders(piece) }
 
 // OneClub returns x_{F−{piece}}: the peers holding everything except the
 // given piece — the "one club" of the missing-piece syndrome.
@@ -189,29 +214,28 @@ func (s *Swarm) OneClub(piece int) int {
 	if piece < 1 || piece > s.params.K {
 		return 0
 	}
-	return s.counts[s.full.Without(piece)]
+	return s.peers.Count(s.full.Without(piece))
 }
 
 // Stats returns the event counters so far.
-func (s *Swarm) Stats() Stats { return s.stats }
+func (s *Swarm) Stats() Stats {
+	st := s.stats
+	st.Events = s.k.Events()
+	return st
+}
 
 // MeanPeers returns the time-averaged population since construction (or the
 // last ResetOccupancy), the estimator for E[N].
-func (s *Swarm) MeanPeers() float64 { return s.occupancy.Value() }
+func (s *Swarm) MeanPeers() float64 { return s.k.MeanPopulation() }
 
 // ResetOccupancy restarts the E[N] estimator at the current instant,
 // discarding burn-in.
-func (s *Swarm) ResetOccupancy() {
-	s.occupancy = dist.TimeAverage{}
-	s.occupancy.Observe(s.now, float64(s.n))
-}
+func (s *Swarm) ResetOccupancy() { s.k.ResetOccupancy() }
 
 // SparseCounts returns a copy of the occupied type counts.
 func (s *Swarm) SparseCounts() map[pieceset.Set]int {
-	out := make(map[pieceset.Set]int, len(s.counts))
-	for c, v := range s.counts {
-		out[c] = v
-	}
+	out := make(map[pieceset.Set]int, s.peers.Occupied())
+	s.peers.Each(func(c pieceset.Set, v int) { out[c] = v })
 	return out
 }
 
@@ -222,22 +246,13 @@ func (s *Swarm) Snapshot() (model.State, error) {
 		return nil, ErrTooManyPieces
 	}
 	st := model.NewState(s.params.K)
-	for c, v := range s.counts {
-		st[int(c)] = v
-	}
+	s.peers.Each(func(c pieceset.Set, v int) { st[int(c)] = v })
 	return st, nil
 }
 
 // addPeers inserts count peers of type c, maintaining indexes.
 func (s *Swarm) addPeers(c pieceset.Set, count int) {
-	if s.counts[c] == 0 {
-		idx := sort.Search(len(s.types), func(i int) bool { return s.types[i] >= c })
-		s.types = append(s.types, 0)
-		copy(s.types[idx+1:], s.types[idx:])
-		s.types[idx] = c
-	}
-	s.counts[c] += count
-	s.n += count
+	s.peers.Add(c, count)
 	for _, p := range c.Pieces() {
 		s.pieces[p-1] += count
 	}
@@ -245,72 +260,83 @@ func (s *Swarm) addPeers(c pieceset.Set, count int) {
 
 // removePeer removes one peer of type c, maintaining indexes.
 func (s *Swarm) removePeer(c pieceset.Set) {
-	s.counts[c]--
-	if s.counts[c] == 0 {
-		delete(s.counts, c)
-		idx := sort.Search(len(s.types), func(i int) bool { return s.types[i] >= c })
-		s.types = append(s.types[:idx], s.types[idx+1:]...)
-	}
-	s.n--
+	s.peers.Add(c, -1)
 	for _, p := range c.Pieces() {
 		s.pieces[p-1]--
 	}
 }
 
-// pickPeerType returns the type of a uniformly random peer. It must only be
-// called with n ≥ 1.
+// pickPeerType returns the type of a uniformly random peer in
+// O(log #occupied types). It must only be called with N ≥ 1; calling it on
+// an empty swarm is an invariant violation and panics.
 func (s *Swarm) pickPeerType() pieceset.Set {
-	target := s.r.Intn(s.n)
-	for _, c := range s.types {
-		target -= s.counts[c]
-		if target < 0 {
-			return c
-		}
+	c, ok := s.peers.Pick(s.r)
+	if !ok {
+		panic("sim: pickPeerType on an empty swarm")
 	}
-	// Unreachable while counts sum to n; return the last type defensively.
-	return s.types[len(s.types)-1]
+	return c
+}
+
+// Population implements kernel.Process.
+func (s *Swarm) Population() float64 { return float64(s.peers.Total()) }
+
+// Rates implements kernel.Process: the per-class rates of the event race.
+// The arrival class races at the thinning bound when a time-varying
+// profile is set; Fire rejects the excess.
+func (s *Swarm) Rates(buf []float64) []float64 {
+	n := s.peers.Total()
+	arrival := s.params.LambdaTotal() * s.scenario.ArrivalBound()
+	seed := 0.0
+	if n > 0 {
+		seed = s.params.Us
+	}
+	peer := s.params.Mu * float64(n)
+	dep := 0.0
+	if !s.params.GammaInf() {
+		dep = s.params.Gamma * float64(s.peers.Count(s.full))
+	}
+	churn := 0.0
+	if s.scenario.Churn > 0 {
+		churn = s.scenario.Churn * float64(n-s.peers.Count(s.full))
+	}
+	return append(buf, arrival, seed, peer, dep, churn)
+}
+
+// Fire implements kernel.Process.
+func (s *Swarm) Fire(class int) error {
+	switch class {
+	case evArrival:
+		s.stepArrival()
+	case evSeedTick:
+		s.stepSeedTick()
+	case evPeerTick:
+		s.stepPeerTick()
+	case evDeparture:
+		s.stepSeedDeparture()
+	case evChurn:
+		s.stepChurn()
+	default:
+		panic(fmt.Sprintf("sim: unknown event class %d", class))
+	}
+	return nil
 }
 
 // Step advances the chain by exactly one event (which may be a no-op
 // contact). Time always advances.
-func (s *Swarm) Step() error {
-	lambdaTotal := s.params.LambdaTotal()
-	seedRate := 0.0
-	if s.n > 0 {
-		seedRate = s.params.Us
-	}
-	peerRate := s.params.Mu * float64(s.n)
-	depRate := 0.0
-	if !s.params.GammaInf() {
-		depRate = s.params.Gamma * float64(s.counts[s.full])
-	}
-	total := lambdaTotal + seedRate + peerRate + depRate
-	if total <= 0 {
-		return ErrNoProgress
-	}
-	s.now += s.r.Exp(total)
-	s.stats.Events++
+func (s *Swarm) Step() error { return s.k.Step() }
 
-	u := s.r.Float64() * total
-	switch {
-	case u < lambdaTotal:
-		s.stepArrival()
-	case u < lambdaTotal+seedRate:
-		s.stepSeedTick()
-	case u < lambdaTotal+seedRate+peerRate:
-		s.stepPeerTick()
-	default:
-		s.stepSeedDeparture()
-	}
-	s.occupancy.Observe(s.now, float64(s.n))
-	return nil
-}
-
-// stepArrival admits one new peer with type drawn from the λ weights.
+// stepArrival admits one new peer with type drawn from the λ weights,
+// after the scenario's thinning draw for time-varying profiles.
 func (s *Swarm) stepArrival() {
+	if !s.scenario.AcceptArrival(s.r, s.k.Now()) {
+		s.stats.Thinned++
+		return
+	}
 	idx, err := s.r.Categorical(s.arrivalWeights)
 	if err != nil {
-		return // validated params guarantee positive total weight
+		// Validated params guarantee a positive total weight; reaching this
+		// is an invariant violation that must not corrupt tables silently.
+		panic(fmt.Sprintf("sim: arrival draw failed on validated weights: %v", err))
 	}
 	s.addPeers(s.arrivalTypes[idx], 1)
 	s.stats.Arrivals++
@@ -345,8 +371,8 @@ func (s *Swarm) stepPeerTick() {
 func (s *Swarm) transfer(target, useful pieceset.Set) {
 	piece, err := s.policy.SelectPiece(s.r, useful, s.Holders)
 	if err != nil {
-		s.stats.NoOps++ // defensive: policies never fail on non-empty sets
-		return
+		// Policies never fail on the non-empty sets the callers guarantee.
+		panic(fmt.Sprintf("sim: policy failed on non-empty useful set %v: %v", useful, err))
 	}
 	next := target.With(piece)
 	s.removePeer(target)
@@ -360,19 +386,29 @@ func (s *Swarm) transfer(target, useful pieceset.Set) {
 
 // stepSeedDeparture removes one peer seed (γ < ∞ only).
 func (s *Swarm) stepSeedDeparture() {
-	if s.counts[s.full] == 0 {
-		return // rate was zero; unreachable
+	if s.peers.Count(s.full) == 0 {
+		return // round-off fallback fired the class at zero rate
 	}
 	s.removePeer(s.full)
 	s.stats.Departures++
+}
+
+// stepChurn removes one uniformly random not-yet-complete peer.
+func (s *Swarm) stepChurn() {
+	c, ok := s.peers.PickExcluding(s.r, s.full)
+	if !ok {
+		return // round-off fallback fired the class at zero rate
+	}
+	s.removePeer(c)
+	s.stats.Churned++
 }
 
 // RunUntil advances the swarm until simulated time reaches maxTime or the
 // population reaches maxPeers (whichever first) and reports which limit
 // fired. maxPeers <= 0 disables the population limit.
 func (s *Swarm) RunUntil(maxTime float64, maxPeers int) (StopReason, error) {
-	for s.now < maxTime {
-		if maxPeers > 0 && s.n >= maxPeers {
+	for s.Now() < maxTime {
+		if maxPeers > 0 && s.N() >= maxPeers {
 			return StopPeers, nil
 		}
 		if err := s.Step(); err != nil {
@@ -399,13 +435,13 @@ func (s *Swarm) Trace(maxTime, interval float64, piece, maxPeers int) ([]TracePo
 		return nil, errors.New("sim: trace interval must be positive")
 	}
 	var out []TracePoint
-	next := s.now
-	for s.now < maxTime {
-		for s.now >= next {
+	next := s.Now()
+	for s.Now() < maxTime {
+		for s.Now() >= next {
 			out = append(out, s.sample(next, piece))
 			next += interval
 		}
-		if maxPeers > 0 && s.n >= maxPeers {
+		if maxPeers > 0 && s.N() >= maxPeers {
 			break
 		}
 		if err := s.Step(); err != nil {
@@ -418,33 +454,40 @@ func (s *Swarm) Trace(maxTime, interval float64, piece, maxPeers int) ([]TracePo
 func (s *Swarm) sample(t float64, piece int) TracePoint {
 	return TracePoint{
 		T:       t,
-		N:       s.n,
+		N:       s.N(),
 		Seeds:   s.PeerSeeds(),
 		OneClub: s.OneClub(piece),
 		Missing: s.Missing(piece),
 	}
 }
 
-// Rates reports the current aggregate event rates of the four exponential
+// Rates reports the current aggregate event rates of the exponential
 // races; diagnostics and tests use it to compare against the generator.
 type Rates struct {
-	Arrival   float64 // λ_total
+	Arrival   float64 // instantaneous λ_total · profile(t)
 	Seed      float64 // U_s when peers are present
 	Peer      float64 // µ·n (includes contacts that will be no-ops)
 	Departure float64 // γ·x_F (0 when γ = ∞)
+	Churn     float64 // δ·(n − x_F) under scenario churn
 	Total     float64
 }
 
-// CurrentRates returns the event rates at the current state.
+// CurrentRates returns the instantaneous event rates at the current state
+// (for a time-varying profile this is the effective arrival rate at the
+// current instant, not the thinning bound the race runs at).
 func (s *Swarm) CurrentRates() Rates {
-	r := Rates{Arrival: s.params.LambdaTotal()}
-	if s.n > 0 {
+	n := s.peers.Total()
+	r := Rates{Arrival: s.params.LambdaTotal() * s.scenario.ArrivalAt(s.k.Now())}
+	if n > 0 {
 		r.Seed = s.params.Us
 	}
-	r.Peer = s.params.Mu * float64(s.n)
+	r.Peer = s.params.Mu * float64(n)
 	if !s.params.GammaInf() {
-		r.Departure = s.params.Gamma * float64(s.counts[s.full])
+		r.Departure = s.params.Gamma * float64(s.peers.Count(s.full))
 	}
-	r.Total = r.Arrival + r.Seed + r.Peer + r.Departure
+	if s.scenario.Churn > 0 {
+		r.Churn = s.scenario.Churn * float64(n-s.peers.Count(s.full))
+	}
+	r.Total = r.Arrival + r.Seed + r.Peer + r.Departure + r.Churn
 	return r
 }
