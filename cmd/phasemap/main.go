@@ -1,0 +1,256 @@
+// Command phasemap draws 2-D phase diagrams of the Zhu–Hajek model through
+// the adaptive sweep subsystem (internal/sweep): pick two axes, a range,
+// and a refinement depth, and the sweep evaluates the base grid, then
+// bisects only the cells straddling the stability boundary — typically
+// >5× fewer evaluations than a dense grid at the same resolution. Cells
+// are memoized by a canonical parameter hash; with -cache FILE the memo
+// table spills to JSONL and an interrupted sweep resumes where it left
+// off. Output is byte-identical for any -parallel value at a fixed seed.
+//
+// Examples:
+//
+//	phasemap                                  # Fig. 1(a): λ0 × µ/γ, Theorem 1
+//	phasemap -eval sim -depth 2               # same plane, Monte-Carlo verdicts
+//	phasemap -x flash-peak -xrange 1,9 -y churn -yrange 0,1.6 \
+//	    -eval sim -lambda0 3                  # scenario diagram (needs -eval sim)
+//	phasemap -format csv -o map.csv           # machine-readable raster
+//	phasemap -cache cells.jsonl -v            # spill cells, live progress
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"repro/internal/cli"
+	"repro/internal/kernel"
+	"repro/internal/sweep"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "phasemap:", err)
+		os.Exit(1)
+	}
+}
+
+// parseRange parses "MIN,MAX".
+func parseRange(s string) (lo, hi float64, err error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad range %q (want MIN,MAX)", s)
+	}
+	if lo, err = strconv.ParseFloat(strings.TrimSpace(parts[0]), 64); err != nil {
+		return 0, 0, fmt.Errorf("bad range %q: %v", s, err)
+	}
+	if hi, err = strconv.ParseFloat(strings.TrimSpace(parts[1]), 64); err != nil {
+		return 0, 0, fmt.Errorf("bad range %q: %v", s, err)
+	}
+	return lo, hi, nil
+}
+
+func run(ctx context.Context, args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("phasemap", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		xName  = fs.String("x", "lambda0", "x axis (one of: "+strings.Join(sweep.AxisNames(), ", ")+")")
+		yName  = fs.String("y", "mu-over-gamma", "y axis")
+		xRange = fs.String("xrange", "0.25,6", "x axis range MIN,MAX")
+		yRange = fs.String("yrange", "0,0.9", "y axis range MIN,MAX")
+		xCells = fs.Int("xcells", 8, "base grid cells along x")
+		yCells = fs.Int("ycells", 6, "base grid cells along y")
+		depth  = fs.Int("depth", 3, "quadtree refinement depth (0 = dense base grid only)")
+		dense  = fs.Bool("dense", false, "evaluate every fine cell (baseline; no adaptive savings)")
+		eval   = fs.String("eval", "theory", `cell evaluator: "theory" (Theorem 1) or "sim" (Monte-Carlo)`)
+
+		k       = fs.Int("k", 1, "number of pieces K")
+		us      = fs.Float64("us", 1, "seed upload rate U_s")
+		mu      = fs.Float64("mu", 1, "peer contact rate µ")
+		gammaS  = fs.String("gamma", "2", `peer-seed departure rate γ (number or "inf")`)
+		lambda0 = fs.Float64("lambda0", 1, "empty-type arrival rate λ0 (ignored if -arrive given)")
+		arrive  = &cli.ArrivalFlags{}
+
+		horizon  = fs.Float64("horizon", 300, "sim evaluator: simulated time per replica")
+		peerCap  = fs.Int("peer-cap", 400, "sim evaluator: growth cap per replica")
+		replicas = fs.Int("replicas", 3, "sim evaluator: sample paths per cell")
+
+		flashPeak = fs.Float64("flash-peak", 0, "base scenario: flash-crowd peak multiplier (0 = none)")
+		churn     = fs.Float64("churn", 0, "base scenario: per-downloader abandonment rate δ")
+
+		seed     = fs.Uint64("seed", 1, "base RNG seed (sim evaluator)")
+		parallel = fs.Int("parallel", runtime.NumCPU(), "engine worker pool size (1 = serial)")
+		format   = fs.String("format", "ascii", `output format: "ascii", "csv", or "jsonl"`)
+		outFile  = fs.String("o", "", "write the map to this file instead of stdout")
+		cacheF   = fs.String("cache", "", "JSONL cell cache: resume from it and spill new cells to it")
+		verbose  = fs.Bool("v", false, "report per-round refined-cell progress on stderr")
+	)
+	fs.Var(arrive, "arrive", "arrival spec PIECES=RATE (repeatable), e.g. -arrive 1,2=0.5")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *parallel < 1 {
+		return fmt.Errorf("-parallel must be >= 1, got %d", *parallel)
+	}
+
+	gamma, err := cli.ParseGamma(*gammaS)
+	if err != nil {
+		return err
+	}
+	base, err := cli.BuildParams(*k, *us, *mu, gamma, *lambda0, arrive)
+	if err != nil {
+		return err
+	}
+	var scenario kernel.Scenario
+	if *flashPeak > 0 {
+		shape := sweep.DefaultFlashShape
+		shape.Peak = *flashPeak
+		scenario.Arrival = shape
+	}
+	scenario.Churn = *churn
+
+	xAxis, err := sweep.AxisByName(*xName)
+	if err != nil {
+		return err
+	}
+	yAxis, err := sweep.AxisByName(*yName)
+	if err != nil {
+		return err
+	}
+	xMin, xMax, err := parseRange(*xRange)
+	if err != nil {
+		return err
+	}
+	yMin, yMax, err := parseRange(*yRange)
+	if err != nil {
+		return err
+	}
+	grid := sweep.Grid{
+		Base:     base,
+		Scenario: scenario,
+		X:        sweep.AxisSpec{Axis: xAxis, Min: xMin, Max: xMax, Cells: *xCells},
+		Y:        sweep.AxisSpec{Axis: yAxis, Min: yMin, Max: yMax, Cells: *yCells},
+
+		RefineDepth: *depth,
+	}
+
+	switch *format {
+	case "ascii", "csv", "jsonl":
+	default:
+		return fmt.Errorf("unknown -format %q (want ascii, csv, or jsonl)", *format)
+	}
+
+	var evaluator sweep.Evaluator
+	switch *eval {
+	case "theory":
+		// Theorem 1 sees only the model parameters, so a workload overlay
+		// would be silently ignored and the map misleadingly uniform.
+		if scenario.Active() || xAxis.Scenario || yAxis.Scenario {
+			return fmt.Errorf("scenario axes and -flash-peak/-churn flags require -eval sim (Theorem 1 ignores workload overlays)")
+		}
+		evaluator = sweep.Theory{}
+	case "sim":
+		// Fold the seed into the evaluator identity so cached cells from a
+		// different -seed are never reused.
+		evaluator = sweep.Seeded{
+			Evaluator: &sweep.Empirical{Horizon: *horizon, PeerCap: *peerCap, Replicas: *replicas},
+			Seed:      *seed,
+		}
+	default:
+		return fmt.Errorf("unknown -eval %q (want theory or sim)", *eval)
+	}
+
+	runner := &sweep.Runner{Evaluator: evaluator, Workers: *parallel}
+	var journal *os.File
+	if *cacheF != "" {
+		cache, f, loaded, err := openCache(*cacheF)
+		if err != nil {
+			return err
+		}
+		journal = f
+		defer journal.Close() // error-path cleanup; the success path checks Close below
+		runner.Cache = cache
+		if *verbose && loaded > 0 {
+			fmt.Fprintf(errw, "phasemap: resumed %d cells from %s\n", loaded, *cacheF)
+		}
+	}
+	if *verbose {
+		runner.Progress = func(name string, done, total int) {
+			fmt.Fprintf(errw, "phasemap: %s: %d/%d cells\n", name, done, total)
+		}
+	}
+
+	var m *sweep.Map
+	if *dense {
+		m, err = grid.RunDense(ctx, runner)
+	} else {
+		m, err = grid.Run(ctx, runner)
+	}
+	if err != nil {
+		return err
+	}
+
+	w := out
+	var outF *os.File
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		outF = f
+		defer outF.Close() // error-path cleanup; the success path checks Close below
+		w = f
+	}
+	switch *format {
+	case "ascii":
+		err = sweep.WriteASCII(w, m)
+	case "csv":
+		err = sweep.WriteCSV(w, m)
+	case "jsonl":
+		err = sweep.WriteJSONL(w, m)
+	}
+	if err != nil {
+		return err
+	}
+	// A write error surfacing only at close (full disk, network FS) must
+	// not exit 0 with a truncated map or a lost journal tail.
+	if outF != nil {
+		if err := outF.Close(); err != nil {
+			return err
+		}
+	}
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// openCache opens (or creates) the spill file, replays any entries already
+// in it, and attaches it for appending.
+func openCache(path string) (*sweep.Cache, *os.File, int, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	cache := sweep.NewCache()
+	loaded, err := cache.LoadJournal(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	cache.AttachJournal(f)
+	return cache, f, loaded, nil
+}

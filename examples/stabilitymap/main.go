@@ -1,18 +1,25 @@
-// Stability map: sweep the (λ0, µ/γ) plane for Example 1 and print an
-// ASCII map comparing Theorem 1's region (letters) with simulation
-// (upper-case means the simulated sample path agreed). The vertical
-// boundary λ0 = U_s/(1−µ/γ) curves exactly as the theorem predicts.
+// Stability map: sweep the (λ0, µ/γ) plane for Example 1 through the
+// adaptive phase-diagram subsystem (internal/sweep) and print an ASCII map
+// comparing Theorem 1's region (letters) with simulation (upper-case means
+// the simulated sample path agreed). The vertical boundary
+// λ0 = U_s/(1−µ/γ) curves exactly as the theorem predicts, and the sweep
+// only simulates the cells near it at full resolution.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"math"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/pieceset"
+	"repro/internal/rng"
 	"repro/internal/stability"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -26,71 +33,99 @@ func main() {
 func run(quick bool) error {
 	const us, mu = 1.0, 1.0
 	fmt.Println("Example 1 stability map: U_s=1, µ=1")
-	fmt.Println("rows: µ/γ (dwell help grows downward)  columns: λ0")
+	fmt.Println("rows: µ/γ (dwell help grows downward on the plot)  columns: λ0")
 	fmt.Println("s/S = stable (theory / +simulation agrees), t/T = transient, b = borderline")
 	fmt.Println()
 
-	lambdas := []float64{0.5, 1, 1.5, 2, 2.5, 3, 4, 6, 8}
-	ratios := []float64{0, 0.2, 0.4, 0.6, 0.8, 0.95}
-	horizon := 150.0
+	base := model.Params{
+		K: 1, Us: us, Mu: mu, Gamma: 2,
+		Lambda: map[pieceset.Set]float64{pieceset.Empty: 1},
+	}
+	horizon, depth := 150.0, 1
+	xCells, yCells := 9, 6
 	if quick {
-		lambdas = []float64{0.5, 1, 2, 4, 8}
-		ratios = []float64{0, 0.4, 0.8}
-		horizon = 60
+		horizon, depth = 60, 0
+		xCells, yCells = 5, 3
+	}
+	xAxis, err := sweep.AxisByName("lambda0")
+	if err != nil {
+		return err
+	}
+	yAxis, err := sweep.AxisByName("mu-over-gamma")
+	if err != nil {
+		return err
+	}
+	grid := sweep.Grid{
+		Base: base,
+		X:    sweep.AxisSpec{Axis: xAxis, Min: 0.5, Max: 8, Cells: xCells},
+		Y:    sweep.AxisSpec{Axis: yAxis, Min: 0, Max: 0.95, Cells: yCells},
+
+		RefineDepth: depth,
+	}
+	runner := &sweep.Runner{Evaluator: &agreementEvaluator{horizon: horizon}}
+	m, err := grid.Run(context.Background(), runner)
+	if err != nil {
+		return err
+	}
+	if err := sweep.WriteASCII(os.Stdout, m); err != nil {
+		return err
 	}
 
-	fmt.Printf("%8s |", "µ/γ \\ λ0")
-	for _, l := range lambdas {
-		fmt.Printf("%5.1f", l)
-	}
 	fmt.Println()
-	fmt.Println("---------+---------------------------------------------")
-
-	for _, r := range ratios {
-		gamma := mu / r
-		if r == 0 {
-			gamma = 1e18 // effectively γ = ∞ relative to µ
+	fmt.Println("threshold per row: λ0* = U_s/(1−µ/γ):")
+	for iy := m.NY - 1; iy >= 0; iy-- {
+		r := m.Ys[iy]
+		gamma := math.Inf(1) // µ/γ = 0 is exactly γ = ∞, a validated value
+		if r > 0 {
+			gamma = mu / r
 		}
-		fmt.Printf("%8.2f |", r)
-		for _, l := range lambdas {
-			p := model.Params{
-				K: 1, Us: us, Mu: mu, Gamma: gamma,
-				Lambda: map[pieceset.Set]float64{pieceset.Empty: l},
-			}
-			sys, err := core.NewSystem(p)
-			if err != nil {
-				return err
-			}
-			ch := "b"
-			switch sys.Verdict() {
-			case stability.PositiveRecurrent:
-				ch = "s"
-			case stability.Transient:
-				ch = "t"
-			}
-			// Cheap empirical check per cell.
-			emp, err := sys.ClassifyEmpirically(core.RunConfig{
-				Horizon: horizon, PeerCap: 400, Replicas: 1, Seed: 9,
-			})
-			if err != nil {
-				return err
-			}
-			if emp.Agrees(sys.Verdict()) && ch != "b" {
-				ch = string(ch[0] - 'a' + 'A')
-			}
-			fmt.Printf("%5s", ch)
-		}
-		fmt.Println()
-	}
-	fmt.Println()
-	fmt.Println("threshold column for each row: λ0* = U_s/(1−µ/γ):")
-	for _, r := range ratios {
-		gamma := mu / r
-		if r == 0 {
-			fmt.Printf("  µ/γ=%.2f: λ0* = %.2f\n", r, us)
-			continue
-		}
-		fmt.Printf("  µ/γ=%.2f: λ0* = %.2f\n", r, stability.Example1Threshold(us, mu, gamma))
+		fmt.Printf("  µ/γ=%.3f: λ0* = %.2f\n", r, stability.Example1Threshold(us, mu, gamma))
 	}
 	return nil
+}
+
+// agreementEvaluator classifies a cell by Theorem 1 and checks one cheap
+// simulated sample path against it: classes s/t/b for the theoretical
+// verdict, upper-cased when the simulation agrees.
+type agreementEvaluator struct {
+	horizon float64
+}
+
+// Name implements sweep.Evaluator.
+func (e *agreementEvaluator) Name() string { return "stabilitymap" }
+
+// Fingerprint implements sweep.Evaluator.
+func (e *agreementEvaluator) Fingerprint() string { return fmt.Sprintf("h=%g", e.horizon) }
+
+// Evaluate implements sweep.Evaluator.
+func (e *agreementEvaluator) Evaluate(ctx context.Context, pt sweep.Point, r *rng.RNG) (sweep.Cell, error) {
+	sys, err := core.NewSystem(pt.Params)
+	if err != nil {
+		return sweep.Cell{}, err
+	}
+	seed := r.Uint64()
+	if seed == 0 {
+		seed = 1
+	}
+	emp, err := sys.ClassifyEmpirically(core.RunConfig{
+		Horizon: e.horizon, PeerCap: 400, Replicas: 1, Seed: seed,
+		Workers: 1, Context: ctx,
+	})
+	if err != nil {
+		return sweep.Cell{}, err
+	}
+	class := "b"
+	switch sys.Verdict() {
+	case stability.PositiveRecurrent:
+		class = "s"
+	case stability.Transient:
+		class = "t"
+	}
+	if class != "b" && emp.Agrees(sys.Verdict()) {
+		class = string(class[0] - 'a' + 'A')
+	}
+	cell := sweep.Cell{Class: class, Value: emp.MeanFinalN}
+	cell.SetFinite("final_n", emp.MeanFinalN)
+	cell.SetFinite("occupancy", emp.MeanOccupancy)
+	return cell, nil
 }

@@ -165,6 +165,15 @@ type Empirical struct {
 	Replicas int
 }
 
+// Label renders the outcome as the table/phase-map class: "grows" or
+// "bounded".
+func (e Empirical) Label() string {
+	if e.Grew {
+		return "grows"
+	}
+	return "bounded"
+}
+
 // Agrees reports whether the empirical outcome matches a theoretical
 // verdict (growth ⇔ transience). Borderline matches either.
 func (e Empirical) Agrees(v stability.Verdict) bool {

@@ -84,6 +84,13 @@ type Job struct {
 	Replicas int
 	// Seed is the base seed the replica streams are split from (default 1).
 	Seed uint64
+	// StreamFor, when non-nil, replaces the default replica-order stream
+	// derivation: replica i runs on StreamFor(i) instead of the i-th Split
+	// of the job seed. Implementations must be pure functions of i so the
+	// run stays schedule-independent. The sweep subsystem uses this to key
+	// streams by cell content, making a cell's outcome independent of how
+	// refinement batched it.
+	StreamFor func(rep int) *rng.RNG
 	// Workers bounds the worker pool; 0 means DefaultWorkers().
 	Workers int
 	// Sink, when non-nil, receives per-replica records (in replica order)
@@ -166,11 +173,17 @@ func Run(ctx context.Context, job Job) (*Result, error) {
 		seed = 1
 	}
 	// Derive every replica stream up front, in replica order, so the
-	// assignment is a pure function of the base seed.
-	base := rng.New(seed)
+	// assignment is a pure function of the base seed (or of StreamFor).
 	streams := make([]*rng.RNG, job.Replicas)
-	for i := range streams {
-		streams[i] = base.Split()
+	if job.StreamFor != nil {
+		for i := range streams {
+			streams[i] = job.StreamFor(i)
+		}
+	} else {
+		base := rng.New(seed)
+		for i := range streams {
+			streams[i] = base.Split()
+		}
 	}
 
 	samples, err := runPool(ctx, job, streams)

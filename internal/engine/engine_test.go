@@ -114,6 +114,33 @@ func TestStreamsIndependentOfWorkerCount(t *testing.T) {
 	}
 }
 
+func TestStreamForOverridesDerivation(t *testing.T) {
+	// StreamFor must hand replica i exactly StreamFor(i)'s stream — a pure
+	// function of the index, independent of worker count and of Seed.
+	job := Job{
+		Name: "streamfor",
+		Backend: Func{Fn: func(ctx context.Context, rep int, r *rng.RNG) (Sample, error) {
+			return Sample{"draw": float64(r.Uint64() >> 11)}, nil
+		}},
+		Replicas:  16,
+		Seed:      99,
+		StreamFor: func(rep int) *rng.RNG { return rng.New(uint64(rep) + 7) },
+	}
+	for _, workers := range []int{1, 8} {
+		job.Workers = workers
+		res, err := Run(context.Background(), job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range res.Samples {
+			want := float64(rng.New(uint64(i)+7).Uint64() >> 11)
+			if s["draw"] != want {
+				t.Errorf("workers %d replica %d draw = %v, want %v", workers, i, s["draw"], want)
+			}
+		}
+	}
+}
+
 func TestConditionalMetricsAndCounts(t *testing.T) {
 	res, err := Run(context.Background(), Job{
 		Name: "conditional",

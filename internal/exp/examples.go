@@ -22,15 +22,11 @@ func runPoint(t *Table, cfg Config, label string, p model.Params, run core.RunCo
 		return err
 	}
 	verdict := sys.Verdict()
-	measured := "bounded"
-	if emp.Grew {
-		measured = "grows"
-	}
 	occ := "-"
 	if !math.IsNaN(emp.MeanOccupancy) {
 		occ = fmtF(emp.MeanOccupancy)
 	}
-	t.AddRow(label, verdict.String(), measured, occ, fmtF(emp.MeanFinalN),
+	t.AddRow(label, verdict.String(), emp.Label(), occ, fmtF(emp.MeanFinalN),
 		markAgreement(emp.Agrees(verdict)))
 	return nil
 }

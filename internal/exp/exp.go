@@ -1,4 +1,4 @@
-// Package exp defines the reproduction experiments E1–E15 that regenerate
+// Package exp defines the reproduction experiments E1–E16 that regenerate
 // every quantitative artifact of the paper (the worked examples of Section
 // IV, the missing-piece growth law of Sections V–VI, the Theorem 15 coding
 // thresholds, and the Section VIII-D borderline process) plus the scenario
@@ -184,6 +184,7 @@ func All() []Experiment {
 		{ID: "E13", Title: "Quasi-stability longevity before one-club onset", Artifact: "Section IX future work", Run: RunE13},
 		{ID: "E14", Title: "Heavy-traffic approach to the stability boundary", Artifact: "Theorem 1 boundary (extension)", Run: RunE14},
 		{ID: "E15", Title: "Scenario layer: flash-crowd ramp and downloader churn", Artifact: "kernel scenario layer (extension)", Run: RunE15},
+		{ID: "E16", Title: "Phase maps via the adaptive sweep subsystem", Artifact: "Fig. 1(a)–(c) + scenario diagram (extension)", Run: RunE16},
 	}
 }
 

@@ -8,8 +8,8 @@ import (
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
-		t.Fatalf("expected 15 experiments, got %d", len(all))
+	if len(all) != 16 {
+		t.Fatalf("expected 16 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -85,6 +85,7 @@ func TestE8Quick(t *testing.T)  { checkNoDisagreement(t, "E8") }
 func TestE10Quick(t *testing.T) { checkNoDisagreement(t, "E10") }
 func TestE11Quick(t *testing.T) { checkNoDisagreement(t, "E11") }
 func TestE12Quick(t *testing.T) { checkNoDisagreement(t, "E12") }
+func TestE16Quick(t *testing.T) { checkNoDisagreement(t, "E16") }
 
 func TestE6Quick(t *testing.T) {
 	if testing.Short() {

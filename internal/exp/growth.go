@@ -7,13 +7,13 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
-	"repro/internal/engine"
 	"repro/internal/fluid"
 	"repro/internal/model"
 	"repro/internal/pieceset"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stability"
+	"repro/internal/sweep"
 )
 
 // RunE5 measures the missing-piece-syndrome growth law: in the transient
@@ -57,63 +57,27 @@ func RunE5(cfg Config) (*Table, error) {
 			},
 		},
 	}
-	// One engine replica per scenario: the stochastic trace and the fluid
-	// integration of the three cases run concurrently.
-	res, err := cfg.run(cfg.job("E5/growth", engine.Func{
-		Label: "growth-sweep",
-		Fn: func(ctx context.Context, rep int, r *rng.RNG) (engine.Sample, error) {
-			cse := cases[rep]
-			delta, err := stability.OneClubGrowthRate(cse.p, 1)
-			if err != nil {
-				return nil, err
-			}
-			if delta <= 0 {
-				return nil, fmt.Errorf("exp: E5 case %q is not transient (∆ = %v)", cse.label, delta)
-			}
-			club := pieceset.Full(cse.p.K).Without(1)
-			sw, err := sim.New(cse.p,
-				sim.WithRNG(r),
-				sim.WithInitialPeers(map[pieceset.Set]int{club: clubSize}))
-			if err != nil {
-				return nil, err
-			}
-			pts, err := sw.Trace(horizon, horizon/50, 1, 0)
-			if err != nil {
-				return nil, err
-			}
-			xs := make([]float64, len(pts))
-			ys := make([]float64, len(pts))
-			for i, pt := range pts {
-				xs[i] = pt.T
-				ys[i] = float64(pt.N)
-			}
-			_, slope, r2, err := dist.LinearFit(xs, ys)
-			if err != nil {
-				return nil, err
-			}
-
-			// Fluid slope from the same initial condition.
-			sys, err := fluid.New(cse.p)
-			if err != nil {
-				return nil, err
-			}
-			x0 := make([]float64, sys.Dim())
-			x0[int(club)] = float64(clubSize)
-			fl, err := sys.Integrate(x0, 0.02, int(horizon/0.02), int(horizon/0.02))
-			if err != nil {
-				return nil, err
-			}
-			fluidSlope := (fl[len(fl)-1].N - fl[0].N) / (fl[len(fl)-1].T - fl[0].T)
-			return engine.Sample{
-				"delta": delta, "slope": slope, "fluid_slope": fluidSlope, "r2": r2,
-			}, nil
+	// The three cases run as one case-parallel sweep batch: the sharded
+	// evaluation layer hands each case a stream keyed by its parameters
+	// and memoizes the outcome.
+	runner := &sweep.Runner{
+		Evaluator: sweep.Seeded{
+			Evaluator: &growthEvaluator{horizon: horizon, clubSize: clubSize},
+			Seed:      cfg.seed(),
 		},
-	}, len(cases), 0))
+		Workers: cfg.Workers,
+		Sink:    cfg.Sink,
+	}
+	pts := make([]sweep.Point, len(cases))
+	for i, cse := range cases {
+		pts[i] = sweep.Point{Params: cse.p}
+	}
+	cells, err := runner.Points(cfg.Context, "E5/growth", pts)
 	if err != nil {
 		return nil, err
 	}
 	for i, cse := range cases {
-		s := res.Samples[i]
+		s := cells[i].Values
 		// The slope should match ∆ within Monte-Carlo noise: accept 35%.
 		ok := math.Abs(s["slope"]-s["delta"]) <= 0.35*s["delta"]
 		t.AddRow(cse.label, fmtF(s["delta"]), fmtF(s["slope"]), fmtF(s["fluid_slope"]),
@@ -121,6 +85,72 @@ func RunE5(cfg Config) (*Table, error) {
 	}
 	t.AddNote("slopes fitted over [0, %s] from a one-club of %d peers", fmtF(horizon), clubSize)
 	return t, nil
+}
+
+// growthEvaluator measures one E5 case: the stochastic one-club growth
+// slope, its fluid-limit counterpart, and the predicted ∆_{F−{1}}.
+type growthEvaluator struct {
+	horizon  float64
+	clubSize int
+}
+
+// Name implements sweep.Evaluator.
+func (e *growthEvaluator) Name() string { return "e5-growth" }
+
+// Fingerprint implements sweep.Evaluator.
+func (e *growthEvaluator) Fingerprint() string {
+	return fmt.Sprintf("h=%g;club=%d", e.horizon, e.clubSize)
+}
+
+// Evaluate implements sweep.Evaluator.
+func (e *growthEvaluator) Evaluate(ctx context.Context, pt sweep.Point, r *rng.RNG) (sweep.Cell, error) {
+	delta, err := stability.OneClubGrowthRate(pt.Params, 1)
+	if err != nil {
+		return sweep.Cell{}, err
+	}
+	if delta <= 0 {
+		return sweep.Cell{}, fmt.Errorf("exp: E5 case %v is not transient (∆ = %v)", pt.Params, delta)
+	}
+	club := pieceset.Full(pt.Params.K).Without(1)
+	sw, err := sim.New(pt.Params,
+		sim.WithRNG(r),
+		sim.WithInitialPeers(map[pieceset.Set]int{club: e.clubSize}))
+	if err != nil {
+		return sweep.Cell{}, err
+	}
+	trace, err := sw.Trace(e.horizon, e.horizon/50, 1, 0)
+	if err != nil {
+		return sweep.Cell{}, err
+	}
+	xs := make([]float64, len(trace))
+	ys := make([]float64, len(trace))
+	for i, tp := range trace {
+		xs[i] = tp.T
+		ys[i] = float64(tp.N)
+	}
+	_, slope, r2, err := dist.LinearFit(xs, ys)
+	if err != nil {
+		return sweep.Cell{}, err
+	}
+
+	// Fluid slope from the same initial condition.
+	sys, err := fluid.New(pt.Params)
+	if err != nil {
+		return sweep.Cell{}, err
+	}
+	x0 := make([]float64, sys.Dim())
+	x0[int(club)] = float64(e.clubSize)
+	fl, err := sys.Integrate(x0, 0.02, int(e.horizon/0.02), int(e.horizon/0.02))
+	if err != nil {
+		return sweep.Cell{}, err
+	}
+	fluidSlope := (fl[len(fl)-1].N - fl[0].N) / (fl[len(fl)-1].T - fl[0].T)
+	cell := sweep.Cell{Class: "transient", Value: slope}
+	cell.SetFinite("delta", delta)
+	cell.SetFinite("slope", slope)
+	cell.SetFinite("fluid_slope", fluidSlope)
+	cell.SetFinite("r2", r2)
+	return cell, nil
 }
 
 // RunE6 re-runs the Example 1 and Example 3 stability sweeps under every
@@ -178,11 +208,7 @@ func RunE6(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			measured := "bounded"
-			if emp.Grew {
-				measured = "grows"
-			}
-			t.AddRow(cse.label, pol.Name(), verdict.String(), measured,
+			t.AddRow(cse.label, pol.Name(), verdict.String(), emp.Label(),
 				markAgreement(emp.Agrees(verdict)))
 		}
 	}

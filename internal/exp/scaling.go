@@ -1,14 +1,17 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/markov"
 	"repro/internal/model"
 	"repro/internal/pieceset"
+	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stability"
+	"repro/internal/sweep"
 )
 
 // RunE14 studies the approach to the stability boundary: Theorem 1
@@ -45,31 +48,33 @@ func RunE14(cfg Config) (*Table, error) {
 	t.AddRow("critical γ at λ0=2·U_s", "2µ (closed form)", fmtF(gCrit),
 		markAgreement(absRel(gCrit, 2) < 1e-6))
 
-	// E[N] blow-up as the margin to the threshold 2 halves. The nearest
-	// margin needs ~10^6 uniformized iterations, so quick mode stops at
-	// margin 0.5.
+	// E[N] blow-up as the margin to the threshold 2 halves, scanned as one
+	// sweep batch: the exact-solver cells run case-parallel through the
+	// sharded evaluation layer and memoize like any other sweep cell. The
+	// nearest margin needs ~10^6 uniformized iterations, so quick mode
+	// stops at margin 0.5.
 	margins := []float64{1, 0.5}
-	nmaxes := []int{70, 100}
 	if !cfg.Quick {
 		margins = append(margins, 0.25)
-		nmaxes = append(nmaxes, 150)
 	}
-	prev := 0.0
+	pts := make([]sweep.Point, len(margins))
 	for i, m := range margins {
 		p := base
 		p.Lambda = map[pieceset.Set]float64{pieceset.Empty: 2 - m}
-		c, err := markov.Build(p, nmaxes[i])
-		if err != nil {
-			return nil, err
-		}
-		res, err := c.Stationary(2_000_000, 1e-10)
-		if err != nil {
-			return nil, err
-		}
-		cell := fmt.Sprintf("E[N] = %s (boundary mass %.1e)", fmtF(res.MeanN), res.BoundaryMass)
+		pts[i] = sweep.Point{Params: p, X: m}
+	}
+	runner := &sweep.Runner{Evaluator: exactOccupancy{}, Workers: cfg.Workers, Sink: cfg.Sink}
+	cells, err := runner.Points(cfg.Context, "E14/margins", pts)
+	if err != nil {
+		return nil, err
+	}
+	prev := 0.0
+	for i, m := range margins {
+		meanN := cells[i].Value
+		cell := fmt.Sprintf("E[N] = %s (boundary mass %.1e)", fmtF(meanN), cells[i].Values["boundary_mass"])
 		verdict := "informational"
 		if i > 0 {
-			ratio := res.MeanN / prev
+			ratio := meanN / prev
 			// Blow-up per margin halving: between the M/M/1-like 2× and a
 			// conservative 4.5× bound.
 			verdict = markAgreement(ratio > 1.5 && ratio < 4.5)
@@ -77,7 +82,7 @@ func RunE14(cfg Config) (*Table, error) {
 		}
 		t.AddRow(fmt.Sprintf("margin %s (λ0 = %s)", fmtF(m), fmtF(2-m)),
 			"E[N] blows up toward the boundary", cell, verdict)
-		prev = res.MeanN
+		prev = meanN
 	}
 
 	// Sojourn time via Little at the widest margin, cross-checked against
@@ -110,6 +115,44 @@ func RunE14(cfg Config) (*Table, error) {
 		markAgreement(absRel(little, exact) < 0.15))
 	t.AddNote("E[N] from the exact truncated solver; heavy-traffic factor checked per margin halving")
 	return t, nil
+}
+
+// exactOccupancy is the E14 sweep evaluator: stationary E[N] from the
+// exact truncated solver, with the truncation level sized to the margin
+// (pt.X) so the boundary mass stays negligible.
+type exactOccupancy struct{}
+
+// Name implements sweep.Evaluator.
+func (exactOccupancy) Name() string { return "e14-exact" }
+
+// Fingerprint implements sweep.Evaluator.
+func (exactOccupancy) Fingerprint() string { return "iters=2e6;eps=1e-10" }
+
+// Evaluate implements sweep.Evaluator.
+func (exactOccupancy) Evaluate(ctx context.Context, pt sweep.Point, r *rng.RNG) (sweep.Cell, error) {
+	// Truncation level sized to the margin 2 − λ_total, a pure function of
+	// the cell's parameters as the cache-key contract requires (pt.X is
+	// informational and excluded from the key).
+	margin := 2 - pt.Params.LambdaTotal()
+	nmax := 150
+	switch {
+	case margin >= 1:
+		nmax = 70
+	case margin >= 0.5:
+		nmax = 100
+	}
+	c, err := markov.Build(pt.Params, nmax)
+	if err != nil {
+		return sweep.Cell{}, err
+	}
+	res, err := c.Stationary(2_000_000, 1e-10)
+	if err != nil {
+		return sweep.Cell{}, err
+	}
+	cell := sweep.Cell{Class: "stable", Value: res.MeanN}
+	cell.SetFinite("mean_n", res.MeanN)
+	cell.SetFinite("boundary_mass", res.BoundaryMass)
+	return cell, nil
 }
 
 // absRel is |a−b|/|b| for table verdicts.

@@ -1,0 +1,168 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/kernel"
+	"repro/internal/model"
+	"repro/internal/pieceset"
+)
+
+// Axis maps one sweep coordinate into a point. Apply mutates the point's
+// parameters or scenario; the grid hands every Apply a freshly cloned
+// point, so axes may write the Lambda map directly. When a grid uses two
+// axes they are applied X first, then Y.
+type Axis struct {
+	// Name identifies the axis in the registry, CLI flags, and output.
+	Name string
+	// Scenario marks axes that move the workload overlay rather than the
+	// model parameters; such axes are invisible to the Theory evaluator.
+	Scenario bool
+	// Apply sets the axis value v on the point.
+	Apply func(pt *Point, v float64) error
+}
+
+// DefaultFlashShape is the ramp the flash-peak axis installs when the base
+// scenario carries no arrival profile of its own: a surge occupying
+// t ∈ [50, 90] with symmetric rise and fall.
+var DefaultFlashShape = kernel.FlashCrowd{Start: 50, Rise: 10, Hold: 20, Fall: 10, Peak: 1}
+
+// ensureLambda makes the point's arrival map writable.
+func ensureLambda(pt *Point) {
+	if pt.Params.Lambda == nil {
+		pt.Params.Lambda = make(map[pieceset.Set]float64, 1)
+	}
+}
+
+// arrivalSets returns every arrival type present in the point's map
+// (including zero-rate entries), sorted, so the lambda1..lambda4 axes
+// index a stable order.
+func arrivalSets(pt *Point) []pieceset.Set {
+	sets := make([]pieceset.Set, 0, len(pt.Params.Lambda))
+	for c := range pt.Params.Lambda {
+		sets = append(sets, c)
+	}
+	sort.Slice(sets, func(i, j int) bool { return sets[i] < sets[j] })
+	return sets
+}
+
+// lambdaTypeAxis sets the rate of the n-th (1-based) arrival type of the
+// base parameters.
+func lambdaTypeAxis(n int) Axis {
+	return Axis{
+		Name: fmt.Sprintf("lambda%d", n),
+		Apply: func(pt *Point, v float64) error {
+			sets := arrivalSets(pt)
+			if n > len(sets) {
+				return fmt.Errorf("sweep: axis lambda%d: base parameters define only %d arrival types", n, len(sets))
+			}
+			pt.Params.Lambda[sets[n-1]] = v
+			return nil
+		},
+	}
+}
+
+// builtinAxes returns the registered axes. The list is rebuilt per call so
+// callers can freely capture and modify the returned closures.
+func builtinAxes() []Axis {
+	axes := []Axis{
+		{Name: "none", Apply: func(pt *Point, v float64) error { return nil }},
+		{Name: "lambda0", Apply: func(pt *Point, v float64) error {
+			ensureLambda(pt)
+			pt.Params.Lambda[pieceset.Empty] = v
+			return nil
+		}},
+		{Name: "scale", Apply: func(pt *Point, v float64) error {
+			for c, l := range pt.Params.Lambda {
+				pt.Params.Lambda[c] = l * v
+			}
+			return nil
+		}},
+		{Name: "us", Apply: func(pt *Point, v float64) error {
+			pt.Params.Us = v
+			return nil
+		}},
+		{Name: "mu", Apply: func(pt *Point, v float64) error {
+			pt.Params.Mu = v
+			return nil
+		}},
+		{Name: "gamma", Apply: func(pt *Point, v float64) error {
+			pt.Params.Gamma = v
+			return nil
+		}},
+		{Name: "mu-over-gamma", Apply: func(pt *Point, v float64) error {
+			if v < 0 {
+				return fmt.Errorf("sweep: axis mu-over-gamma: ratio %v must be >= 0", v)
+			}
+			if v == 0 {
+				// µ/γ = 0 is the instant-departure regime γ = ∞, which
+				// model.Params validates as a first-class value.
+				pt.Params.Gamma = math.Inf(1)
+				return nil
+			}
+			pt.Params.Gamma = pt.Params.Mu / v
+			return nil
+		}},
+		{Name: "flash-peak", Scenario: true, Apply: func(pt *Point, v float64) error {
+			var shape kernel.FlashCrowd
+			switch prof := pt.Scenario.Arrival.(type) {
+			case nil:
+				shape = DefaultFlashShape
+			case kernel.FlashCrowd:
+				shape = prof
+			default:
+				return fmt.Errorf("sweep: axis flash-peak: base arrival profile %T is not a FlashCrowd", prof)
+			}
+			shape.Peak = v
+			pt.Scenario.Arrival = shape
+			return nil
+		}},
+		{Name: "churn", Scenario: true, Apply: func(pt *Point, v float64) error {
+			pt.Scenario.Churn = v
+			return nil
+		}},
+	}
+	// lambda1..lambda4 index the base parameters' arrival types in sorted
+	// order — enough for every worked example; deeper type vectors sweep
+	// via scale or a custom Axis.
+	for n := 1; n <= 4; n++ {
+		axes = append(axes, lambdaTypeAxis(n))
+	}
+	return axes
+}
+
+// AxisNames returns every registered axis name.
+func AxisNames() []string {
+	axes := builtinAxes()
+	names := make([]string, len(axes))
+	for i, a := range axes {
+		names[i] = a.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AxisByName resolves a registered axis, reporting ErrUnknownAxis with the
+// known names otherwise.
+func AxisByName(name string) (Axis, error) {
+	for _, a := range builtinAxes() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return Axis{}, fmt.Errorf("%w: %q (known: %s)", ErrUnknownAxis, name, strings.Join(AxisNames(), ", "))
+}
+
+// cloneParams deep-copies parameters so axis application cannot alias the
+// sweep's base.
+func cloneParams(p model.Params) model.Params {
+	out := p
+	out.Lambda = make(map[pieceset.Set]float64, len(p.Lambda))
+	for c, l := range p.Lambda {
+		out.Lambda[c] = l
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package sweep
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/pieceset"
+	"repro/internal/rng"
+	"repro/internal/stability"
+)
+
+// randomInstance draws a K ≤ 3 parameter point in the µ < γ branch with
+// empty-handed arrivals (so the scale ray is guaranteed to cross the
+// Theorem 1 boundary at a finite s*).
+func randomInstance(r *rng.RNG) model.Params {
+	k := 1 + r.Intn(3)
+	p := model.Params{
+		K:      k,
+		Us:     0.2 + 2*r.Float64(),
+		Mu:     1,
+		Gamma:  1.2 + 4*r.Float64(),
+		Lambda: map[pieceset.Set]float64{pieceset.Empty: 0.5 + 3*r.Float64()},
+	}
+	// Occasionally add a single-piece gifted type; keep its rate small so
+	// scaled gifts do not push the boundary to infinity.
+	if k > 1 && r.Float64() < 0.5 {
+		p.Lambda[pieceset.MustOf(1+r.Intn(k))] = 0.1 * r.Float64()
+	}
+	return p
+}
+
+// TestAdaptiveBoundaryMatchesCriticalScale is the property test of the
+// adaptive refiner: on random instances, a 1-D adaptive sweep along the
+// arrival-scale ray localizes the stability boundary within one fine cell
+// width of the independent stability.CriticalScale bisection.
+func TestAdaptiveBoundaryMatchesCriticalScale(t *testing.T) {
+	scaleAxis, err := AxisByName("scale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	noneAxis, err := AxisByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	const instances = 25
+	for i := 0; i < instances; i++ {
+		p := randomInstance(r)
+		want, err := stability.CriticalScale(p)
+		if err != nil || math.IsInf(want, 1) {
+			// Gifted arrivals can leave the whole ray stable; skip.
+			continue
+		}
+		g := Grid{
+			Base: p,
+			X:    AxisSpec{Axis: scaleAxis, Min: 0.1 * want, Max: 1.9 * want, Cells: 6},
+			Y:    AxisSpec{Axis: noneAxis, Min: 0, Max: 0, Cells: 1},
+			// Depth 3: 48 fine cells, so one cell width is 1.8·s*/48.
+			RefineDepth: 3,
+		}
+		m, err := g.Run(context.Background(), &Runner{Evaluator: Theory{}})
+		if err != nil {
+			t.Fatalf("instance %d (%v): %v", i, p, err)
+		}
+		xs := m.XCrossings(0)
+		if len(xs) == 0 {
+			t.Errorf("instance %d (%v): no boundary crossing, want one near s* = %g", i, p, want)
+			continue
+		}
+		// Nearest crossing (a borderline sliver can split one crossing in
+		// two) must agree with the bisection within one cell width.
+		nearest := xs[0]
+		for _, x := range xs {
+			if math.Abs(x-want) < math.Abs(nearest-want) {
+				nearest = x
+			}
+		}
+		if w := m.CellWidth(); math.Abs(nearest-want) > w+1e-12 {
+			t.Errorf("instance %d (%v): adaptive boundary %g vs CriticalScale %g (cell width %g)",
+				i, p, nearest, want, w)
+		}
+		if m.Stats.Evaluated >= m.Stats.DenseCells {
+			t.Errorf("instance %d: adaptive evaluated %d of %d dense cells — no savings",
+				i, m.Stats.Evaluated, m.Stats.DenseCells)
+		}
+	}
+}

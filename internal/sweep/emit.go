@@ -1,0 +1,123 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteCSV emits the raster as "x,y,class,value" rows in deterministic
+// row-major order (y outer, ascending).
+func WriteCSV(w io.Writer, m *Map) error {
+	if _, err := fmt.Fprintf(w, "%s,%s,class,value\n", m.XName, m.YName); err != nil {
+		return err
+	}
+	for iy := 0; iy < m.NY; iy++ {
+		for ix := 0; ix < m.NX; ix++ {
+			c := m.At(ix, iy)
+			if _, err := fmt.Fprintf(w, "%s,%s,%s,%s\n",
+				fnum(m.Xs[ix]), fnum(m.Ys[iy]), c.Class, fnum(c.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// mapRecord is the trailing JSONL summary line.
+type mapRecord struct {
+	Kind  string `json:"kind"` // "map"
+	XAxis string `json:"x_axis"`
+	YAxis string `json:"y_axis"`
+	NX    int    `json:"nx"`
+	NY    int    `json:"ny"`
+	Stats Stats  `json:"stats"`
+}
+
+// cellRecord is one JSONL raster line.
+type cellRecord struct {
+	Kind string  `json:"kind"` // "cell"
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+	Cell Cell    `json:"cell"`
+}
+
+// WriteJSONL emits one "cell" record per raster cell in row-major order,
+// then a "map" record with the dimensions and work stats. encoding/json
+// sorts map keys, so the byte stream is deterministic.
+func WriteJSONL(w io.Writer, m *Map) error {
+	enc := json.NewEncoder(w)
+	for iy := 0; iy < m.NY; iy++ {
+		for ix := 0; ix < m.NX; ix++ {
+			rec := cellRecord{Kind: "cell", X: m.Xs[ix], Y: m.Ys[iy], Cell: m.At(ix, iy)}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return enc.Encode(mapRecord{
+		Kind: "map", XAxis: m.XName, YAxis: m.YName, NX: m.NX, NY: m.NY, Stats: m.Stats,
+	})
+}
+
+// Glyphs assigns one printable ASCII rune per class for the ASCII map:
+// the class's first free ASCII letter, otherwise a digit (the map body is
+// one byte per cell, so multi-byte runes are never chosen). Assignment
+// follows sorted class order, so it is deterministic.
+func Glyphs(classes []string) map[string]rune {
+	sorted := append([]string(nil), classes...)
+	sort.Strings(sorted)
+	used := make(map[rune]bool)
+	out := make(map[string]rune, len(sorted))
+	next := '0'
+	for _, class := range sorted {
+		glyph := rune(0)
+		for _, r := range class {
+			if r > ' ' && r < 128 && !used[r] {
+				glyph = r
+				break
+			}
+		}
+		if glyph == 0 {
+			for used[next] {
+				next++
+			}
+			glyph = next
+		}
+		used[glyph] = true
+		out[class] = glyph
+	}
+	return out
+}
+
+// WriteASCII renders the raster as a terminal map, one glyph per cell,
+// rows printed top-down in decreasing y (so y grows upward, as on a
+// plot), with a legend and the work stats underneath.
+func WriteASCII(w io.Writer, m *Map) error {
+	glyphs := Glyphs(m.Classes())
+	if _, err := fmt.Fprintf(w, "%s (rows, top = %s) × %s (columns)\n",
+		m.YName, fnum(m.Ys[m.NY-1]), m.XName); err != nil {
+		return err
+	}
+	line := make([]byte, m.NX)
+	for iy := m.NY - 1; iy >= 0; iy-- {
+		for ix := 0; ix < m.NX; ix++ {
+			line[ix] = byte(glyphs[m.At(ix, iy).Class])
+		}
+		if _, err := fmt.Fprintf(w, "%10.4g | %s\n", m.Ys[iy], line); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%10s + x: [%s, %s]\n", "", fnum(m.Xs[0]), fnum(m.Xs[m.NX-1])); err != nil {
+		return err
+	}
+	for _, class := range m.Classes() {
+		if _, err := fmt.Fprintf(w, "  %c = %s\n", glyphs[class], class); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "evaluated %d of %d dense cells (%d cache hits, %d deduped, %d rounds)\n",
+		m.Stats.Evaluated, m.Stats.DenseCells, m.Stats.CacheHits, m.Stats.Deduped, m.Stats.Rounds)
+	return err
+}
