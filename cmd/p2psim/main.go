@@ -1,22 +1,32 @@
-// Command p2psim runs one sample path of the P2P swarm CTMC and prints a
-// sampled trace plus summary statistics, alongside the Theorem 1 verdict
-// for the same parameters.
+// Command p2psim runs replicated sample paths of the P2P swarm CTMC
+// through the parallel Monte-Carlo engine and the streaming observation
+// pipeline: a decimated trace of the population / peer seeds / one-club /
+// missing-piece trajectory (-trace, on by default), streaming P²
+// population quantiles (-quantiles), per-replica structured JSONL records
+// (-jsonl), and summary statistics alongside the Theorem 1 verdict for the
+// same parameters. Output is byte-identical for any -parallel value at a
+// fixed seed.
 //
-// Example:
+// Examples:
 //
 //	p2psim -k 3 -us 1 -mu 1 -gamma 2 -lambda0 2 -horizon 500 -policy rarest-first
+//	p2psim -k 2 -lambda0 3 -replicas 8 -parallel 4 -quantiles -jsonl records.jsonl
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 
 	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -36,21 +46,29 @@ func policyByName(name string) (sim.Policy, error) {
 	return nil, fmt.Errorf("unknown policy %q (have: random-useful, rarest-first, most-common-first, sequential-lowest)", name)
 }
 
+// quantileTargets are the population quantiles -quantiles reports.
+var quantileTargets = []float64{0.1, 0.5, 0.9}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("p2psim", flag.ContinueOnError)
 	var (
-		k        = fs.Int("k", 2, "number of pieces K")
-		us       = fs.Float64("us", 1, "fixed seed upload rate U_s")
-		mu       = fs.Float64("mu", 1, "peer contact rate µ")
-		gammaStr = fs.String("gamma", "2", "peer-seed departure rate γ (or 'inf')")
-		lambda0  = fs.Float64("lambda0", 1, "empty-type arrival rate (used when no -arrive flags)")
-		horizon  = fs.Float64("horizon", 200, "simulated time horizon")
-		cap      = fs.Int("cap", 100000, "stop when the population reaches this size")
-		seed     = fs.Uint64("seed", 1, "RNG seed")
-		polName  = fs.String("policy", "random-useful", "piece selection policy")
-		samples  = fs.Int("samples", 20, "number of trace samples to print")
-		csvOut   = fs.Bool("csv", false, "emit the trace as CSV instead of a table")
-		arrivals cli.ArrivalFlags
+		k         = fs.Int("k", 2, "number of pieces K")
+		us        = fs.Float64("us", 1, "fixed seed upload rate U_s")
+		mu        = fs.Float64("mu", 1, "peer contact rate µ")
+		gammaStr  = fs.String("gamma", "2", "peer-seed departure rate γ (or 'inf')")
+		lambda0   = fs.Float64("lambda0", 1, "empty-type arrival rate (used when no -arrive flags)")
+		horizon   = fs.Float64("horizon", 200, "simulated time horizon")
+		cap       = fs.Int("cap", 100000, "stop a replica when its population reaches this size")
+		seed      = fs.Uint64("seed", 1, "base RNG seed (replicas run on streams split from it)")
+		polName   = fs.String("policy", "random-useful", "piece selection policy")
+		samples   = fs.Int("samples", 20, "number of decimated trace points")
+		replicas  = fs.Int("replicas", 1, "number of independent replicas")
+		parallel  = fs.Int("parallel", runtime.NumCPU(), "engine worker pool size (1 = serial; output is identical either way)")
+		trace     = fs.Bool("trace", true, "attach trajectory observers and print the decimated trace")
+		quantiles = fs.Bool("quantiles", false, "stream P² population quantiles and print them")
+		jsonl     = fs.String("jsonl", "", "write per-replica structured records (series, marks, scalars) to this JSONL file")
+		csvOut    = fs.Bool("csv", false, "emit the trace as CSV instead of a table")
+		arrivals  cli.ArrivalFlags
 	)
 	fs.Var(&arrivals, "arrive", "arrival spec PIECES=RATE (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -68,53 +86,172 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *replicas < 1 || *parallel < 1 {
+		return fmt.Errorf("-replicas and -parallel must be >= 1")
+	}
+	if *samples < 2 {
+		return fmt.Errorf("-samples must be >= 2, got %d", *samples)
+	}
 	sys, err := core.NewSystem(p)
 	if err != nil {
 		return err
 	}
-	sw, err := sys.NewSwarm(sim.WithSeed(*seed), sim.WithPolicy(policy))
-	if err != nil {
-		return err
+	needTrace := *trace || *csvOut
+
+	backend := &engine.SwarmBackend{
+		Label:   "p2psim",
+		Params:  p,
+		Options: []sim.Option{sim.WithPolicy(policy)},
+		Observe: func(rep int, sw *sim.Swarm) *obs.Set {
+			set := obs.NewSet()
+			if needTrace {
+				dt := *horizon / float64(*samples)
+				for _, s := range sw.TraceSeries(0, *horizon, dt, sys.CriticalPiece()) {
+					set.Add(s)
+				}
+			}
+			if *quantiles {
+				set.Add(obs.NewQuantiles("n", func() float64 { return float64(sw.N()) }, quantileTargets...))
+			}
+			return set
+		},
+		Measure: func(ctx context.Context, rep int, sw *sim.Swarm) (engine.Sample, error) {
+			reason, err := sw.RunUntil(*horizon, *cap)
+			if err != nil {
+				return nil, err
+			}
+			st := sw.Stats()
+			s := engine.Sample{
+				"final_t":    sw.Now(),
+				"final_n":    float64(sw.N()),
+				"mean_n":     sw.MeanPeers(),
+				"events":     float64(st.Events),
+				"arrivals":   float64(st.Arrivals),
+				"departures": float64(st.Departures),
+				"uploads":    float64(st.Uploads),
+				"noops":      float64(st.NoOps),
+			}
+			if reason == sim.StopPeers {
+				s["capped"] = 1
+			}
+			return s, nil
+		},
 	}
-	interval := *horizon / float64(*samples)
-	trace, err := sw.Trace(*horizon, interval, sys.CriticalPiece(), *cap)
-	if err != nil {
-		return err
+	job := engine.Job{
+		Name:     "p2psim/" + p.String(),
+		Backend:  backend,
+		Replicas: *replicas,
+		Seed:     *seed,
+		Workers:  *parallel,
 	}
-	if *csvOut {
-		w := csv.NewWriter(out)
-		if err := w.Write([]string{"t", "n", "seeds", "one_club", "missing"}); err != nil {
+	var sinkFile *os.File
+	if *jsonl != "" {
+		f, err := os.Create(*jsonl)
+		if err != nil {
 			return err
 		}
-		for _, pt := range trace {
-			rec := []string{
-				strconv.FormatFloat(pt.T, 'f', 4, 64),
-				strconv.Itoa(pt.N),
-				strconv.Itoa(pt.Seeds),
-				strconv.Itoa(pt.OneClub),
-				strconv.Itoa(pt.Missing),
-			}
-			if err := w.Write(rec); err != nil {
-				return err
-			}
+		sinkFile = f
+		job.Sink = engine.NewJSONLSink(f)
+	}
+	res, err := engine.Run(nil, job)
+	if sinkFile != nil {
+		// Close explicitly: a flush failure (full disk) must fail the run,
+		// not silently truncate the record file the CI diffs depend on.
+		if cerr := sinkFile.Close(); cerr != nil && err == nil {
+			err = cerr
 		}
-		w.Flush()
-		return w.Error()
+	}
+	if err != nil {
+		return err
+	}
+
+	if *csvOut {
+		return writeCSV(out, res.Records[0])
 	}
 	fmt.Fprintf(out, "parameters : %s\n", p)
 	fmt.Fprintf(out, "theorem 1  : %s\n", sys.Verdict())
-	fmt.Fprintf(out, "policy     : %s\n\n", policy.Name())
-	fmt.Fprintf(out, "%10s %8s %8s %10s %10s\n", "t", "N", "seeds", "one-club", "missing")
-	for _, pt := range trace {
-		fmt.Fprintf(out, "%10.2f %8d %8d %10d %10d\n",
-			pt.T, pt.N, pt.Seeds, pt.OneClub, pt.Missing)
+	fmt.Fprintf(out, "policy     : %s\n", policy.Name())
+	if *replicas > 1 {
+		fmt.Fprintf(out, "replicas   : %d\n", *replicas)
 	}
-	st := sw.Stats()
-	fmt.Fprintf(out, "\nfinal time      : %.2f\n", sw.Now())
-	fmt.Fprintf(out, "final population: %d\n", sw.N())
-	fmt.Fprintf(out, "mean population : %.3f\n", sw.MeanPeers())
-	fmt.Fprintf(out, "mean sojourn (Little): %.3f\n", sys.MeanSojournTime(sw.MeanPeers()))
-	fmt.Fprintf(out, "events: %d  arrivals: %d  departures: %d  uploads: %d  no-ops: %d\n",
-		st.Events, st.Arrivals, st.Departures, st.Uploads, st.NoOps)
+	fmt.Fprintln(out)
+	if *trace {
+		writeTraceTable(out, res.Records[0], *replicas > 1)
+	}
+	writeSummary(out, sys, res, *replicas)
+	if *quantiles {
+		writeQuantiles(out, res)
+	}
 	return nil
+}
+
+// traceColumns zips a record's trajectory series into rows, relying on the
+// shared ladder TraceSeries guarantees.
+func traceColumns(rec engine.Record) (pts [][5]float64) {
+	n := rec.Series["n"]
+	seeds := rec.Series["seeds"]
+	club := rec.Series["one_club"]
+	missing := rec.Series["missing"]
+	for i := range n {
+		pts = append(pts, [5]float64{n[i].T, n[i].V, seeds[i].V, club[i].V, missing[i].V})
+	}
+	return pts
+}
+
+func writeCSV(out io.Writer, rec engine.Record) error {
+	w := csv.NewWriter(out)
+	if err := w.Write([]string{"t", "n", "seeds", "one_club", "missing"}); err != nil {
+		return err
+	}
+	for _, pt := range traceColumns(rec) {
+		row := []string{strconv.FormatFloat(pt[0], 'f', 4, 64)}
+		for _, v := range pt[1:] {
+			row = append(row, strconv.Itoa(int(v)))
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func writeTraceTable(out io.Writer, rec engine.Record, labeled bool) {
+	if labeled {
+		fmt.Fprintln(out, "replica 0 trace (decimated):")
+	}
+	fmt.Fprintf(out, "%10s %8s %8s %10s %10s\n", "t", "N", "seeds", "one-club", "missing")
+	for _, pt := range traceColumns(rec) {
+		fmt.Fprintf(out, "%10.2f %8d %8d %10d %10d\n",
+			pt[0], int(pt[1]), int(pt[2]), int(pt[3]), int(pt[4]))
+	}
+	fmt.Fprintln(out)
+}
+
+func writeSummary(out io.Writer, sys *core.System, res *engine.Result, replicas int) {
+	if replicas == 1 {
+		s := res.Sample(0)
+		fmt.Fprintf(out, "final time      : %.2f\n", s["final_t"])
+		fmt.Fprintf(out, "final population: %d\n", int(s["final_n"]))
+		fmt.Fprintf(out, "mean population : %.3f\n", s["mean_n"])
+		fmt.Fprintf(out, "mean sojourn (Little): %.3f\n", sys.MeanSojournTime(s["mean_n"]))
+		fmt.Fprintf(out, "events: %d  arrivals: %d  departures: %d  uploads: %d  no-ops: %d\n",
+			int(s["events"]), int(s["arrivals"]), int(s["departures"]),
+			int(s["uploads"]), int(s["noops"]))
+		return
+	}
+	fmt.Fprintf(out, "final population: %s\n", res.Summary("final_n"))
+	fmt.Fprintf(out, "mean population : %s\n", res.Summary("mean_n"))
+	fmt.Fprintf(out, "mean sojourn (Little): %.3f\n", sys.MeanSojournTime(res.Mean("mean_n")))
+	fmt.Fprintf(out, "capped replicas : %d/%d\n", res.Count("capped"), replicas)
+	fmt.Fprintf(out, "events per replica: %s\n", res.Summary("events"))
+}
+
+func writeQuantiles(out io.Writer, res *engine.Result) {
+	fmt.Fprintf(out, "population quantiles (P², event-sampled, mean over replicas):")
+	for _, p := range quantileTargets {
+		key := fmt.Sprintf("n.p%g", 100*p)
+		fmt.Fprintf(out, "  p%g=%.3g", 100*p, res.Mean(key))
+	}
+	fmt.Fprintln(out)
 }

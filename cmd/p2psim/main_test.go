@@ -69,6 +69,47 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// TestRunReplicatedDeterministicAcrossWorkers pins the CLI's byte-identity
+// contract: same flags, different -parallel, identical output.
+func TestRunReplicatedDeterministicAcrossWorkers(t *testing.T) {
+	var ref string
+	for _, workers := range []string{"1", "8"} {
+		var b strings.Builder
+		err := run([]string{
+			"-k", "2", "-lambda0", "3", "-horizon", "30", "-samples", "6",
+			"-replicas", "4", "-parallel", workers, "-quantiles", "-seed", "5",
+		}, &b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == "" {
+			ref = b.String()
+			continue
+		}
+		if b.String() != ref {
+			t.Errorf("output differs across -parallel values:\n%s\nvs\n%s", b.String(), ref)
+		}
+	}
+	for _, want := range []string{"replicas   : 4", "population quantiles", "replica 0 trace"} {
+		if !strings.Contains(ref, want) {
+			t.Errorf("replicated output missing %q:\n%s", want, ref)
+		}
+	}
+}
+
+func TestRunTraceOff(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-horizon", "10", "-trace=false"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "one-club") {
+		t.Error("-trace=false still printed the trace table")
+	}
+	if !strings.Contains(b.String(), "final population") {
+		t.Error("summary missing with -trace=false")
+	}
+}
+
 func TestRunCSV(t *testing.T) {
 	var b strings.Builder
 	err := run([]string{"-horizon", "10", "-samples", "5", "-csv"}, &b)

@@ -1,17 +1,22 @@
 // Missing-piece syndrome: start a transient system from a large one-club
 // (every peer holds all pieces except piece 1) and watch the population
 // grow linearly at the rate ∆_{F−{1}} predicted by the branching-process
-// analysis of Section VI.
+// analysis of Section VI. The trajectory is measured by the streaming
+// observation pipeline (internal/obs): decimating series for N and the
+// one-club, plus a hitting-time watcher for the population doubling — no
+// hand-rolled sampling loop.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pieceset"
 	"repro/internal/sim"
 )
@@ -25,9 +30,9 @@ func main() {
 }
 
 func run(quick bool) error {
-	club, horizon, interval := 500, 120.0, 6.0
+	club, horizon, points := 500, 120.0, 20
 	if quick {
-		club, horizon, interval = 150, 40.0, 2.0
+		club, horizon, points = 150, 40.0, 10
 	}
 	params := model.Params{
 		K:     3,
@@ -58,22 +63,63 @@ func run(quick bool) error {
 	if err != nil {
 		return err
 	}
-	trace, err := swarm.Trace(horizon, interval, 1, 0)
-	if err != nil {
+
+	// The observer pipeline: two decimating series on a shared ladder
+	// bounded at the horizon (so the final event's overshoot cannot leak
+	// post-horizon points into the slope fit) and a watcher marking when
+	// the population doubles.
+	dt := horizon / float64(points)
+	nSeries := obs.NewBoundedSeries("n", 0, dt, points+2, horizon, func() float64 { return float64(swarm.N()) })
+	clubSeries := obs.NewBoundedSeries("one_club", 0, dt, points+2, horizon, func() float64 { return float64(swarm.OneClub(1)) })
+	doubled := obs.NewPopulationWatch("doubled", 2*float64(club), false)
+	set := obs.NewSet(nSeries, clubSeries, doubled)
+	swarm.SetTap(set)
+	if _, err := swarm.RunUntil(horizon, 0); err != nil {
 		return err
 	}
-	fmt.Printf("%8s %8s %10s %10s\n", "t", "N", "one-club", "missing-1")
-	xs := make([]float64, len(trace))
-	ys := make([]float64, len(trace))
-	for i, pt := range trace {
-		xs[i], ys[i] = pt.T, float64(pt.N)
-		fmt.Printf("%8.1f %8d %10d %10d\n", pt.T, pt.N, pt.OneClub, pt.Missing)
+	set.Seal(horizon)
+
+	// Plot the one-club trajectory: it only grows — piece 1 stays rare.
+	fmt.Printf("one-club size (decimated to %d points, █ ≈ %d peers):\n", len(clubSeries.Points()), plotScale(clubSeries))
+	plot(clubSeries)
+
+	xs := make([]float64, len(nSeries.Points()))
+	ys := make([]float64, len(nSeries.Points()))
+	for i, pt := range nSeries.Points() {
+		xs[i], ys[i] = pt.T, pt.V
 	}
 	_, slope, r2, err := dist.LinearFit(xs, ys)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("\nfitted dN/dt = %.3f (R² = %.3f) vs predicted ∆ = %.3f\n", slope, r2, delta)
+	if doubled.Hit() {
+		fmt.Printf("population doubled (≥ %d peers) at t = %.1f — the watcher's event mark\n", 2*club, doubled.Time())
+	}
 	fmt.Println("the one-club never shrinks: piece 1 stays rare — the missing piece syndrome")
 	return nil
+}
+
+// plotScale picks the peers-per-block scale for the ASCII plot.
+func plotScale(s *obs.Series) int {
+	max := 0.0
+	for _, pt := range s.Points() {
+		if pt.V > max {
+			max = pt.V
+		}
+	}
+	scale := int(max / 60)
+	if scale < 1 {
+		scale = 1
+	}
+	return scale
+}
+
+// plot renders a series as one bar row per decimated point.
+func plot(s *obs.Series) {
+	scale := plotScale(s)
+	for _, pt := range s.Points() {
+		bar := strings.Repeat("█", int(pt.V)/scale)
+		fmt.Printf("t=%6.1f %6d |%s\n", pt.T, int(pt.V), bar)
+	}
 }

@@ -28,8 +28,9 @@ type Chain struct {
 	r      *rng.RNG
 	kern   *kernel.Kernel
 
-	n int
-	j int
+	n      int
+	j      int
+	halted bool
 
 	stats Stats
 }
@@ -166,18 +167,37 @@ func (c *Chain) Fire(int) error {
 	return nil
 }
 
+// SetTap attaches (nil detaches) a post-event observer tap — typically an
+// obs.Set pipeline — to the chain's kernel, clearing any previous halt.
+func (c *Chain) SetTap(t kernel.Tap) {
+	c.halted = false
+	c.kern.SetTap(t)
+}
+
+// Halted reports whether an attached stop-watcher ended the run.
+func (c *Chain) Halted() bool { return c.halted }
+
 // Step advances one embedded transition. The total rate K·λ is constant
-// and positive, so the kernel step cannot fail; a failure would be an
-// invariant violation and panics.
+// and positive, so the kernel step cannot fail; a failure other than an
+// observer halt would be an invariant violation and panics. After a halt
+// Step is a no-op until the tap is replaced via SetTap.
 func (c *Chain) Step() {
+	if c.halted {
+		return
+	}
 	if err := c.kern.Step(); err != nil {
+		if errors.Is(err, kernel.ErrHalted) {
+			c.halted = true
+			return
+		}
 		panic(fmt.Sprintf("borderline: kernel step failed: %v", err))
 	}
 }
 
-// RunTransitions advances a fixed number of embedded transitions.
+// RunTransitions advances a fixed number of embedded transitions, stopping
+// early when an attached watcher halts the chain.
 func (c *Chain) RunTransitions(steps int) {
-	for i := 0; i < steps; i++ {
+	for i := 0; i < steps && !c.halted; i++ {
 		c.Step()
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -82,6 +83,7 @@ func (a *ArrivalFlags) String() string {
 	for c, l := range a.Lambda {
 		parts = append(parts, fmt.Sprintf("%v=%g", c, l))
 	}
+	sort.Strings(parts)
 	return strings.Join(parts, " ")
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/gf"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/stability"
 )
@@ -206,13 +207,7 @@ func (s *Swarm) ResetOccupancy() { s.k.ResetOccupancy() }
 
 // DimCounts returns the number of peers holding each subspace dimension,
 // indexed 0..K.
-func (s *Swarm) DimCounts() []int {
-	out := make([]int, s.params.K+1)
-	s.counts.Each(func(key string, n int) {
-		out[s.groups[key].Dim()] += n
-	})
-	return out
-}
+func (s *Swarm) DimCounts() []int { return s.dimCountsInto(nil) }
 
 // GroupCount returns how many distinct subspace types are occupied.
 func (s *Swarm) GroupCount() int { return s.counts.Occupied() }
@@ -290,6 +285,14 @@ func (s *Swarm) Fire(class int) error {
 
 // Step advances the chain by one event.
 func (s *Swarm) Step() error { return s.k.Step() }
+
+// SetTap attaches (nil detaches) a post-event observer tap — typically an
+// obs.Set pipeline — to the swarm's kernel.
+func (s *Swarm) SetTap(t kernel.Tap) { s.k.SetTap(t) }
+
+// Halted reports whether an attached stop-watcher is requesting a halt
+// (RunUntil returns cleanly in that case; this disambiguates).
+func (s *Swarm) Halted() bool { return s.k.TapHalted() }
 
 func (s *Swarm) stepArrival() {
 	idx, err := s.r.Categorical(s.arrivalWeights)
@@ -414,17 +417,46 @@ func (s *Swarm) stepDeparture() {
 	s.stats.Departures++
 }
 
-// RunUntil advances until the time or population limit fires.
+// RunUntil advances until the time or population limit fires. An attached
+// stop-watcher ends the run cleanly (nil error); inspect the watch for the
+// hitting time.
 func (s *Swarm) RunUntil(maxTime float64, maxPeers int) error {
 	for s.Now() < maxTime {
 		if maxPeers > 0 && s.counts.Total() >= maxPeers {
 			return nil
 		}
 		if err := s.Step(); err != nil {
+			if errors.Is(err, kernel.ErrHalted) {
+				return nil
+			}
 			return err
 		}
 	}
 	return nil
+}
+
+// dimCache recomputes the per-dimension peer counts once per committed
+// event for Trace's dim-series probes to share.
+type dimCache struct {
+	s    *Swarm
+	dims []int
+}
+
+// OnEvent implements obs.Observer.
+func (d *dimCache) OnEvent(float64, int, float64) { d.dims = d.s.dimCountsInto(d.dims) }
+
+// dimCountsInto is DimCounts reusing the caller's buffer.
+func (s *Swarm) dimCountsInto(buf []int) []int {
+	if len(buf) != s.params.K+1 {
+		buf = make([]int, s.params.K+1)
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	s.counts.Each(func(key string, n int) {
+		buf[s.groups[key].Dim()] += n
+	})
+	return buf
 }
 
 // TracePoint is one sampled observation of a coded swarm trajectory.
@@ -435,27 +467,56 @@ type TracePoint struct {
 	Dims []int // peers per subspace dimension 0..K
 }
 
-// Trace runs until maxTime, sampling every interval time units. It stops
-// early (without error) when the population reaches maxPeers > 0.
+// Trace runs until maxTime, sampling every interval time units through the
+// observation pipeline (one decimating series per subspace dimension plus
+// population and decoders). It stops early (without error) when the
+// population reaches maxPeers > 0. Each point records the state AT its
+// ladder time; a temporary pipeline is composed around any attached tap,
+// which is restored on return.
 func (s *Swarm) Trace(maxTime, interval float64, maxPeers int) ([]TracePoint, error) {
 	if interval <= 0 {
 		return nil, errors.New("codedsim: trace interval must be positive")
 	}
-	var out []TracePoint
-	next := s.Now()
-	for s.Now() < maxTime {
-		for s.Now() >= next {
-			out = append(out, TracePoint{
-				T: next, N: s.counts.Total(), Full: s.nFull, Dims: s.DimCounts(),
-			})
-			next += interval
-		}
-		if maxPeers > 0 && s.counts.Total() >= maxPeers {
-			break
-		}
-		if err := s.Step(); err != nil {
-			return out, err
-		}
+	start := s.Now()
+	capacity := int((maxTime-start)/interval) + 2
+	if capacity < 4 {
+		capacity = 4
 	}
-	return out, nil
+	// Bounded at maxTime so the final event's overshoot can neither extend
+	// the trace nor overflow the capacity into a compress.
+	mk := func(name string, probe obs.Probe) *obs.Series {
+		return obs.NewBoundedSeries(name, start, interval, capacity, maxTime, probe)
+	}
+	nS := mk("n", func() float64 { return float64(s.counts.Total()) })
+	fullS := mk("full", func() float64 { return float64(s.nFull) })
+	// One dimension-count snapshot per event, shared by all K+1 dim probes:
+	// the refresher observes first (attach order), so the series' post-event
+	// probe reads are a single counts traversal instead of K+1.
+	cache := &dimCache{s: s}
+	cache.OnEvent(0, 0, 0)
+	dimS := make([]*obs.Series, s.params.K+1)
+	for d := 0; d <= s.params.K; d++ {
+		d := d
+		dimS[d] = mk(fmt.Sprintf("dim%d", d), func() float64 { return float64(cache.dims[d]) })
+	}
+	set := obs.NewSet(cache, nS, fullS)
+	for _, sr := range dimS {
+		set.Add(sr)
+	}
+	prev := s.k.Tap()
+	set.Add(prev)
+	s.k.SetTap(set)
+	defer s.k.SetTap(prev)
+
+	err := s.RunUntil(maxTime, maxPeers)
+	set.Seal(s.Now()) // the bounded ladder clamps to maxTime itself
+	out := make([]TracePoint, len(nS.Points()))
+	for i, p := range nS.Points() {
+		dims := make([]int, s.params.K+1)
+		for d := range dimS {
+			dims[d] = int(dimS[d].Points()[i].V)
+		}
+		out[i] = TracePoint{T: p.T, N: int(p.V), Full: int(fullS.Points()[i].V), Dims: dims}
+	}
+	return out, err
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/markov"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stability"
 )
@@ -117,6 +118,13 @@ type RunConfig struct {
 	// Workers bounds the engine worker pool running the replicas
 	// (0 = engine default, the process GOMAXPROCS; 1 = serial).
 	Workers int
+	// Observers, when non-nil, builds a replica's observation pipeline once
+	// its swarm exists (probes close over sw). The pipeline is tapped into
+	// the replica's kernel for the whole run, and its sealed output —
+	// decimated series, hitting-time marks, observer scalars — flows into
+	// the replica's structured engine record (and any Sink). Pipelines
+	// consume no randomness, so classification outcomes are unchanged.
+	Observers func(rep int, sw *sim.Swarm) *obs.Set
 	// Sink, when non-nil, receives structured per-replica records and the
 	// aggregate from the underlying engine job.
 	Sink engine.Sink
@@ -200,16 +208,18 @@ func (s *System) ClassifyEmpirically(cfg RunConfig) (Empirical, error) {
 		Params:   s.params,
 		Options:  []sim.Option{sim.WithPolicy(cfg.Policy)},
 		Scenario: cfg.Scenario,
+		Observe:  cfg.Observers,
 		Measure: func(ctx context.Context, rep int, sw *sim.Swarm) (engine.Sample, error) {
 			reason, err := sw.RunUntil(cfg.BurnIn, cfg.PeerCap)
 			if err != nil {
 				return nil, err
 			}
-			if reason != sim.StopPeers {
+			if reason != sim.StopPeers && reason != sim.StopObserver {
 				sw.ResetOccupancy()
-				// Advance in slices so a cancelled run stops promptly.
+				// Advance in slices so a cancelled run stops promptly; a
+				// stop-watcher in cfg.Observers ends the replica early, too.
 				step := (cfg.Horizon - cfg.BurnIn) / 8
-				for target := cfg.BurnIn + step; reason != sim.StopPeers && sw.Now() < cfg.Horizon; target += step {
+				for target := cfg.BurnIn + step; reason != sim.StopPeers && reason != sim.StopObserver && sw.Now() < cfg.Horizon; target += step {
 					if err := ctx.Err(); err != nil {
 						return nil, err
 					}

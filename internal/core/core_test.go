@@ -5,7 +5,9 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pieceset"
 	"repro/internal/sim"
 	"repro/internal/stability"
@@ -153,6 +155,60 @@ func TestAgreesBorderline(t *testing.T) {
 	if !e.Agrees(stability.Transient) {
 		t.Error("growth agrees with transience")
 	}
+}
+
+// TestRunConfigObservers: per-replica pipelines attach through the
+// classification path, their output lands in the sink's structured
+// records, and the classification outcome itself is unchanged.
+func TestRunConfigObservers(t *testing.T) {
+	s := k1System(t, 0.5, 1, 1, 2)
+	base := RunConfig{Horizon: 200, PeerCap: 300, Replicas: 3, Seed: 7}
+	plain, err := s.ClassifyEmpirically(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recordingSink{}
+	observed := base
+	observed.Sink = rec
+	observed.Observers = func(rep int, sw *sim.Swarm) *obs.Set {
+		return obs.NewSet(
+			obs.NewSeries("n", 0, 10, 32, func() float64 { return float64(sw.N()) }),
+			obs.NewPopulationWatch("n2", 2, false),
+		)
+	}
+	withObs, err := s.ClassifyEmpirically(observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withObs != plain {
+		t.Errorf("observers changed the classification: %+v vs %+v", withObs, plain)
+	}
+	if len(rec.replicas) != 3 {
+		t.Fatalf("sink saw %d replica records", len(rec.replicas))
+	}
+	for i, r := range rec.replicas {
+		if len(r.Series["n"]) == 0 {
+			t.Errorf("replica %d record missing n series", i)
+		}
+		if _, ok := r.Marks["n2"]; !ok {
+			t.Errorf("replica %d record missing n2 mark", i)
+		}
+	}
+}
+
+type recordingSink struct {
+	replicas   []engine.ReplicaRecord
+	aggregates []engine.AggregateRecord
+}
+
+func (s *recordingSink) WriteReplica(r engine.ReplicaRecord) error {
+	s.replicas = append(s.replicas, r)
+	return nil
+}
+
+func (s *recordingSink) WriteAggregate(a engine.AggregateRecord) error {
+	s.aggregates = append(s.aggregates, a)
+	return nil
 }
 
 func TestNewSwarmUsesParams(t *testing.T) {

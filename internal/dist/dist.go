@@ -1,8 +1,9 @@
 // Package dist provides the small statistical toolkit shared by the
 // simulators and the experiment harness: streaming scalar summaries
-// (Welford mean/variance with normal-approximation confidence intervals),
-// time-weighted averages of piecewise-constant signals, and ordinary
-// least-squares line fitting for growth-rate measurements.
+// (Welford mean/variance with Student-t confidence intervals), streaming
+// quantile estimation (the P² algorithm, fixed memory), time-weighted
+// averages of piecewise-constant signals, and ordinary least-squares line
+// fitting for growth-rate measurements.
 //
 // Everything here is deterministic and allocation-light; Summary and
 // TimeAverage are usable as zero values so simulators can embed them
@@ -88,13 +89,51 @@ func (s *Summary) Max() float64 {
 	return s.max
 }
 
-// CI95 returns the half-width of the normal-approximation 95% confidence
-// interval for the mean (0 with fewer than two observations).
+// tCrit95 holds the two-sided Student-t critical values t_{0.975,df} for
+// df = 1..30 (Abramowitz & Stegun table 26.10), indexed by df-1.
+var tCrit95 = [30]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided 95% Student-t critical value for the
+// given degrees of freedom: an exact table lookup for df ≤ 30, then coarse
+// anchors taken at the LOW end of each band (t(30), t(40), t(60), t(120))
+// so intermediate df get a slightly wider — conservative — interval, never
+// a narrower one, approaching the normal limit 1.96 from above (the
+// shortfall past df = 1000 is under 0.2%). Non-positive df (no spread
+// information at all) returns the normal value.
+func TCritical95(df int) float64 {
+	switch {
+	case df <= 0:
+		return 1.96
+	case df <= 30:
+		return tCrit95[df-1]
+	case df <= 40:
+		return 2.042 // t(30)
+	case df <= 60:
+		return 2.021 // t(40)
+	case df <= 120:
+		return 2.000 // t(60)
+	case df <= 1000:
+		return 1.980 // t(120)
+	default:
+		return 1.96
+	}
+}
+
+// CI95 returns the half-width of the 95% confidence interval for the mean
+// (0 with fewer than two observations), using the Student-t critical value
+// for the sample's n−1 degrees of freedom. Small replica pools — the
+// experiment tables run 3–16 replicas — get the honest, wider interval
+// (t ≈ 4.30 at n = 3) instead of the 1.96 normal approximation, which
+// converges back as n grows.
 func (s *Summary) CI95() float64 {
 	if s.n < 2 {
 		return 0
 	}
-	return 1.96 * s.Std() / math.Sqrt(float64(s.n))
+	return TCritical95(s.n-1) * s.Std() / math.Sqrt(float64(s.n))
 }
 
 // Merge folds another summary into this one (Chan et al. parallel
@@ -146,8 +185,14 @@ type TimeAverage struct {
 	span     float64 // total elapsed time
 }
 
-// Observe records that the signal has value v from time t onward.
+// Observe records that the signal has value v from time t onward. Time must
+// be non-decreasing; an out-of-order timestamp is an invariant violation in
+// the caller's event loop and panics rather than silently corrupting the
+// average (matching the arrival/policy invariant panics in the simulators).
 func (a *TimeAverage) Observe(t, v float64) {
+	if a.started && t < a.lastT {
+		panic(fmt.Sprintf("dist: TimeAverage.Observe out of order: t=%v < last=%v", t, a.lastT))
+	}
 	if a.started && t > a.lastT {
 		dt := t - a.lastT
 		a.weighted += a.lastV * dt

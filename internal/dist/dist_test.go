@@ -120,6 +120,59 @@ func TestCI95ShrinksWithN(t *testing.T) {
 	}
 }
 
+// TestCI95StudentT pins the small-n Student-t critical values and the
+// large-n normal limit.
+func TestCI95StudentT(t *testing.T) {
+	// n = 2 (df = 1): CI = 12.706·s/√2 with s = √2/√... build {0, 2}:
+	// mean 1, s = √2, so CI = 12.706·√2/√2 = 12.706.
+	var s Summary
+	s.Add(0)
+	s.Add(2)
+	if !almost(s.CI95(), 12.706, 1e-9) {
+		t.Errorf("n=2 CI95 = %v, want 12.706", s.CI95())
+	}
+	// n = 3 (df = 2): t = 4.303.
+	var s3 Summary
+	for _, x := range []float64{-1, 0, 1} {
+		s3.Add(x)
+	}
+	if want := 4.303 * s3.Std() / math.Sqrt(3); !almost(s3.CI95(), want, 1e-12) {
+		t.Errorf("n=3 CI95 = %v, want %v", s3.CI95(), want)
+	}
+	// Critical values decrease toward the normal limit, and the coarse
+	// anchors are conservative: a band's value never undercuts the exact
+	// critical value anywhere in the band (t is decreasing in df, so
+	// anchoring at the band's low end guarantees it).
+	prev := math.Inf(1)
+	for _, df := range []int{1, 2, 5, 10, 30, 31, 40, 41, 60, 61, 120, 121, 1000, 100000} {
+		c := TCritical95(df)
+		if c > prev {
+			t.Errorf("TCritical95 not monotone at df=%d: %v > %v", df, c, prev)
+		}
+		prev = c
+	}
+	if got := TCritical95(31); got != TCritical95(30) {
+		t.Errorf("df=31 = %v, want the conservative t(30) anchor %v", got, TCritical95(30))
+	}
+	if TCritical95(100000) != 1.96 {
+		t.Errorf("large-df limit = %v, want 1.96", TCritical95(100000))
+	}
+	if TCritical95(0) != 1.96 {
+		t.Errorf("df=0 fallback = %v, want 1.96", TCritical95(0))
+	}
+}
+
+func TestTimeAverageOutOfOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order Observe did not panic")
+		}
+	}()
+	var a TimeAverage
+	a.Observe(5, 1)
+	a.Observe(4, 2)
+}
+
 func TestTimeAverage(t *testing.T) {
 	var a TimeAverage
 	if !math.IsNaN(a.Value()) {

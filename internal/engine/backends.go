@@ -7,6 +7,7 @@ import (
 	"repro/internal/borderline"
 	"repro/internal/codedsim"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/peersim"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -17,6 +18,28 @@ import (
 
 // ErrNoMeasure reports a backend constructed without a measurement.
 var ErrNoMeasure = errors.New("engine: backend has no Measure func")
+
+// attach wires an observer pipeline into a simulator's kernel tap. The
+// empty pipeline is not attached, so observer-less replicas keep the
+// nil-tap fast path.
+func attach(set *obs.Set, tappable interface{ SetTap(kernel.Tap) }) *obs.Set {
+	if set == nil || set.Empty() {
+		return nil
+	}
+	tappable.SetTap(set)
+	return set
+}
+
+// sealRecord composes the replica record from the backend sample and the
+// sealed observer snapshot.
+func sealRecord(sample Sample, set *obs.Set, now float64) Record {
+	rec := Record{Values: sample}
+	if set != nil {
+		set.Seal(now)
+		rec.merge(set.Snapshot())
+	}
+	return rec
+}
 
 // SwarmBackend drives the type-count simulator (internal/sim): each replica
 // builds a fresh swarm on its private stream and hands it to Measure.
@@ -31,6 +54,11 @@ type SwarmBackend struct {
 	// Scenario, when active, overlays time-varying arrivals and churn on
 	// every replica (equivalent to a sim.WithScenario option).
 	Scenario kernel.Scenario
+	// Observe, when non-nil, builds the replica's observer pipeline once
+	// its swarm exists (probes close over sw); the pipeline is attached to
+	// the swarm's kernel tap before Measure runs and its sealed snapshot —
+	// series, marks, scalars — is folded into the replica record after.
+	Observe func(rep int, sw *sim.Swarm) *obs.Set
 	// Measure runs the replica on the fresh swarm and extracts its sample.
 	Measure func(ctx context.Context, rep int, sw *sim.Swarm) (Sample, error)
 }
@@ -39,9 +67,9 @@ type SwarmBackend struct {
 func (b *SwarmBackend) Name() string { return orDefault(b.Label, "sim") }
 
 // RunReplica implements Backend.
-func (b *SwarmBackend) RunReplica(ctx context.Context, rep int, r *rng.RNG) (Sample, error) {
+func (b *SwarmBackend) RunReplica(ctx context.Context, rep int, r *rng.RNG) (Record, error) {
 	if b.Measure == nil {
-		return nil, ErrNoMeasure
+		return Record{}, ErrNoMeasure
 	}
 	opts := append([]sim.Option{}, b.Options...)
 	if b.Scenario.Active() {
@@ -50,9 +78,17 @@ func (b *SwarmBackend) RunReplica(ctx context.Context, rep int, r *rng.RNG) (Sam
 	opts = append(opts, sim.WithRNG(r))
 	sw, err := sim.New(b.Params, opts...)
 	if err != nil {
-		return nil, err
+		return Record{}, err
 	}
-	return b.Measure(ctx, rep, sw)
+	var set *obs.Set
+	if b.Observe != nil {
+		set = attach(b.Observe(rep, sw), sw)
+	}
+	sample, err := b.Measure(ctx, rep, sw)
+	if err != nil {
+		return Record{}, err
+	}
+	return sealRecord(sample, set, sw.Now()), nil
 }
 
 // RecoveryBackend drives the fast-recovery variant of the type-count
@@ -64,16 +100,19 @@ type RecoveryBackend struct {
 	Options []sim.Option
 	// Scenario, when active, overlays time-varying arrivals and churn.
 	Scenario kernel.Scenario
-	Measure  func(ctx context.Context, rep int, sw *sim.RecoverySwarm) (Sample, error)
+	// Observe, when non-nil, builds the replica's observer pipeline (see
+	// SwarmBackend.Observe).
+	Observe func(rep int, sw *sim.RecoverySwarm) *obs.Set
+	Measure func(ctx context.Context, rep int, sw *sim.RecoverySwarm) (Sample, error)
 }
 
 // Name implements Backend.
 func (b *RecoveryBackend) Name() string { return orDefault(b.Label, "recovery") }
 
 // RunReplica implements Backend.
-func (b *RecoveryBackend) RunReplica(ctx context.Context, rep int, r *rng.RNG) (Sample, error) {
+func (b *RecoveryBackend) RunReplica(ctx context.Context, rep int, r *rng.RNG) (Record, error) {
 	if b.Measure == nil {
-		return nil, ErrNoMeasure
+		return Record{}, ErrNoMeasure
 	}
 	opts := append([]sim.Option{}, b.Options...)
 	if b.Scenario.Active() {
@@ -82,9 +121,17 @@ func (b *RecoveryBackend) RunReplica(ctx context.Context, rep int, r *rng.RNG) (
 	opts = append(opts, sim.WithRNG(r))
 	sw, err := sim.NewRecovery(b.Params, b.Eta, opts...)
 	if err != nil {
-		return nil, err
+		return Record{}, err
 	}
-	return b.Measure(ctx, rep, sw)
+	var set *obs.Set
+	if b.Observe != nil {
+		set = attach(b.Observe(rep, sw), sw)
+	}
+	sample, err := b.Measure(ctx, rep, sw)
+	if err != nil {
+		return Record{}, err
+	}
+	return sealRecord(sample, set, sw.Now()), nil
 }
 
 // CodedBackend drives the network-coding simulator (internal/codedsim).
@@ -92,6 +139,9 @@ type CodedBackend struct {
 	Label   string
 	Params  stability.CodedParams
 	Options []codedsim.Option
+	// Observe, when non-nil, builds the replica's observer pipeline (see
+	// SwarmBackend.Observe).
+	Observe func(rep int, sw *codedsim.Swarm) *obs.Set
 	Measure func(ctx context.Context, rep int, sw *codedsim.Swarm) (Sample, error)
 }
 
@@ -99,16 +149,24 @@ type CodedBackend struct {
 func (b *CodedBackend) Name() string { return orDefault(b.Label, "codedsim") }
 
 // RunReplica implements Backend.
-func (b *CodedBackend) RunReplica(ctx context.Context, rep int, r *rng.RNG) (Sample, error) {
+func (b *CodedBackend) RunReplica(ctx context.Context, rep int, r *rng.RNG) (Record, error) {
 	if b.Measure == nil {
-		return nil, ErrNoMeasure
+		return Record{}, ErrNoMeasure
 	}
 	opts := append(append([]codedsim.Option{}, b.Options...), codedsim.WithRNG(r))
 	sw, err := codedsim.New(b.Params, opts...)
 	if err != nil {
-		return nil, err
+		return Record{}, err
 	}
-	return b.Measure(ctx, rep, sw)
+	var set *obs.Set
+	if b.Observe != nil {
+		set = attach(b.Observe(rep, sw), sw)
+	}
+	sample, err := b.Measure(ctx, rep, sw)
+	if err != nil {
+		return Record{}, err
+	}
+	return sealRecord(sample, set, sw.Now()), nil
 }
 
 // PeerBackend drives the peer-granular simulator (internal/peersim), whose
@@ -119,16 +177,21 @@ type PeerBackend struct {
 	Options []peersim.Option
 	// Scenario, when active, overlays time-varying arrivals and churn.
 	Scenario kernel.Scenario
-	Measure  func(ctx context.Context, rep int, sw *peersim.Swarm) (Sample, error)
+	// Observe, when non-nil, builds the replica's observer pipeline (see
+	// SwarmBackend.Observe). The swarm's built-in sojourn tracker
+	// (sw.Sojourn) can be added to the set so its statistics flow into the
+	// replica record.
+	Observe func(rep int, sw *peersim.Swarm) *obs.Set
+	Measure func(ctx context.Context, rep int, sw *peersim.Swarm) (Sample, error)
 }
 
 // Name implements Backend.
 func (b *PeerBackend) Name() string { return orDefault(b.Label, "peersim") }
 
 // RunReplica implements Backend.
-func (b *PeerBackend) RunReplica(ctx context.Context, rep int, r *rng.RNG) (Sample, error) {
+func (b *PeerBackend) RunReplica(ctx context.Context, rep int, r *rng.RNG) (Record, error) {
 	if b.Measure == nil {
-		return nil, ErrNoMeasure
+		return Record{}, ErrNoMeasure
 	}
 	opts := append([]peersim.Option{}, b.Options...)
 	if b.Scenario.Active() {
@@ -137,17 +200,28 @@ func (b *PeerBackend) RunReplica(ctx context.Context, rep int, r *rng.RNG) (Samp
 	opts = append(opts, peersim.WithRNG(r))
 	sw, err := peersim.New(b.Params, opts...)
 	if err != nil {
-		return nil, err
+		return Record{}, err
 	}
-	return b.Measure(ctx, rep, sw)
+	var set *obs.Set
+	if b.Observe != nil {
+		set = attach(b.Observe(rep, sw), sw)
+	}
+	sample, err := b.Measure(ctx, rep, sw)
+	if err != nil {
+		return Record{}, err
+	}
+	return sealRecord(sample, set, sw.Now()), nil
 }
 
 // BorderlineBackend drives the µ=∞ embedded chain (internal/borderline).
 type BorderlineBackend struct {
 	Label string
 	// K and Lambda configure the chain (per-piece arrival rate Lambda).
-	K       int
-	Lambda  float64
+	K      int
+	Lambda float64
+	// Observe, when non-nil, builds the replica's observer pipeline (see
+	// SwarmBackend.Observe).
+	Observe func(rep int, c *borderline.Chain) *obs.Set
 	Measure func(ctx context.Context, rep int, c *borderline.Chain) (Sample, error)
 }
 
@@ -155,15 +229,23 @@ type BorderlineBackend struct {
 func (b *BorderlineBackend) Name() string { return orDefault(b.Label, "borderline") }
 
 // RunReplica implements Backend.
-func (b *BorderlineBackend) RunReplica(ctx context.Context, rep int, r *rng.RNG) (Sample, error) {
+func (b *BorderlineBackend) RunReplica(ctx context.Context, rep int, r *rng.RNG) (Record, error) {
 	if b.Measure == nil {
-		return nil, ErrNoMeasure
+		return Record{}, ErrNoMeasure
 	}
 	c, err := borderline.NewFromRNG(b.K, b.Lambda, r)
 	if err != nil {
-		return nil, err
+		return Record{}, err
 	}
-	return b.Measure(ctx, rep, c)
+	var set *obs.Set
+	if b.Observe != nil {
+		set = attach(b.Observe(rep, c), c)
+	}
+	sample, err := b.Measure(ctx, rep, c)
+	if err != nil {
+		return Record{}, err
+	}
+	return sealRecord(sample, set, c.Now()), nil
 }
 
 func orDefault(label, def string) string {

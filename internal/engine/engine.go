@@ -8,11 +8,13 @@
 //   - every replica runs on its own RNG stream, split off the base seed in
 //     replica order before any worker starts, so the stream assignment is
 //     independent of scheduling;
-//   - per-replica samples are collected by index and aggregated in replica
-//     order, so Welford merges see the same sequence whatever the worker
-//     count;
-//   - sinks receive the per-replica records in replica order after the run
-//     completes, so emitted JSONL is byte-identical for 1 or N workers.
+//   - per-replica records (scalar values plus any decimated series and
+//     event marks from an attached observer pipeline, internal/obs) are
+//     collected by index and aggregated in replica order, so Welford merges
+//     see the same sequence whatever the worker count;
+//   - sinks receive the per-replica records — series and marks included —
+//     in replica order after the run completes, so emitted JSONL is
+//     byte-identical for 1 or N workers.
 //
 // The only scheduling-dependent observable is the Progress callback, which
 // reports completion counts as they happen.
@@ -26,6 +28,7 @@ import (
 	"sort"
 
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -42,6 +45,37 @@ var (
 // expressed).
 type Sample map[string]float64
 
+// Record is one replica's structured outcome: scalar values, decimated
+// trajectory series, and named event marks (hitting times). Values come
+// from the backend's Measure; Series and Marks come from the replica's
+// observer pipeline (internal/obs) when one is attached. Scalars and marks
+// share one aggregation namespace — a mark is folded into the job summary
+// exactly like a conditional scalar — so observers and Measure funcs in
+// one job must use distinct names.
+type Record struct {
+	Values Sample
+	Series map[string][]obs.Point
+	Marks  map[string]float64
+}
+
+// merge folds an observer snapshot into the record. Backend-reported
+// scalars win name collisions against observer scalars.
+func (rec *Record) merge(snap obs.Snapshot) {
+	rec.Series = snap.Series
+	rec.Marks = snap.Marks
+	if len(snap.Values) == 0 {
+		return
+	}
+	if rec.Values == nil {
+		rec.Values = make(Sample, len(snap.Values))
+	}
+	for k, v := range snap.Values {
+		if _, taken := rec.Values[k]; !taken {
+			rec.Values[k] = v
+		}
+	}
+}
+
 // Backend produces one replica outcome from a dedicated RNG stream. A
 // Backend must be safe for concurrent RunReplica calls; all the adapters
 // in this package are, because each call builds its own simulator from the
@@ -52,10 +86,12 @@ type Backend interface {
 	// RunReplica runs replica number rep (0-based) to completion. The
 	// generator is the replica's private stream; long-running backends
 	// should poll ctx and abandon work when it is cancelled.
-	RunReplica(ctx context.Context, rep int, r *rng.RNG) (Sample, error)
+	RunReplica(ctx context.Context, rep int, r *rng.RNG) (Record, error)
 }
 
-// Func adapts a closure to a Backend.
+// Func adapts a closure to a Backend. The closure returns plain scalar
+// samples; use a simulator backend with an Observe hook when series or
+// marks are wanted.
 type Func struct {
 	Label string
 	Fn    func(ctx context.Context, rep int, r *rng.RNG) (Sample, error)
@@ -70,8 +106,9 @@ func (f Func) Name() string {
 }
 
 // RunReplica implements Backend.
-func (f Func) RunReplica(ctx context.Context, rep int, r *rng.RNG) (Sample, error) {
-	return f.Fn(ctx, rep, r)
+func (f Func) RunReplica(ctx context.Context, rep int, r *rng.RNG) (Record, error) {
+	s, err := f.Fn(ctx, rep, r)
+	return Record{Values: s}, err
 }
 
 // Job describes one replicated Monte-Carlo computation.
@@ -112,25 +149,39 @@ type Result struct {
 	Job string
 	// Replicas echoes the replica count.
 	Replicas int
-	// Samples holds every replica's sample, indexed by replica.
-	Samples []Sample
+	// Records holds every replica's structured record, indexed by replica.
+	Records []Record
 
 	metrics map[string]*dist.Summary
 	keys    []string
 }
 
-// aggregate folds the samples into per-key summaries, in replica order.
+// Sample returns replica i's scalar values (nil when the replica reported
+// none) — the scalar view of Records[i].
+func (res *Result) Sample(i int) Sample { return res.Records[i].Values }
+
+// aggregate folds scalar values and event marks into per-key summaries,
+// strictly in replica order so Welford merges are deterministic. Marks are
+// conditional by construction (a watch that never hit emits nothing), so
+// they double as onset counters through Count, exactly like conditional
+// scalars.
 func (res *Result) aggregate() {
 	res.metrics = make(map[string]*dist.Summary)
-	for _, s := range res.Samples {
-		for _, k := range sortedKeys(s) {
-			sum, ok := res.metrics[k]
-			if !ok {
-				sum = &dist.Summary{}
-				res.metrics[k] = sum
-				res.keys = append(res.keys, k)
-			}
-			sum.Add(s[k])
+	add := func(k string, v float64) {
+		sum, ok := res.metrics[k]
+		if !ok {
+			sum = &dist.Summary{}
+			res.metrics[k] = sum
+			res.keys = append(res.keys, k)
+		}
+		sum.Add(v)
+	}
+	for _, rec := range res.Records {
+		for _, k := range sortedKeys(rec.Values) {
+			add(k, rec.Values[k])
+		}
+		for _, k := range sortedKeys(rec.Marks) {
+			add(k, rec.Marks[k])
 		}
 	}
 	sort.Strings(res.keys)
@@ -138,6 +189,69 @@ func (res *Result) aggregate() {
 
 // Keys returns the metric names seen across all replicas, sorted.
 func (res *Result) Keys() []string { return res.keys }
+
+// SeriesKeys returns the series names seen across all replicas, sorted.
+func (res *Result) SeriesKeys() []string {
+	seen := map[string]bool{}
+	var keys []string
+	for _, rec := range res.Records {
+		for k := range rec.Series {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// MeanSeries merges one named series across replicas, in replica order:
+// the first replica reporting it defines the time ladder, and every later
+// replica with the identical ladder is averaged in pointwise (Welford).
+// Replicas whose ladders differ — decimation doubled at a different point
+// because the replica ended early — are skipped; merged reports how many
+// replicas contributed. All replicas of a fixed-horizon job share one
+// ladder, so merged == Replicas is the common case.
+func (res *Result) MeanSeries(name string) (pts []obs.Point, merged int) {
+	var sums []dist.Summary
+	for _, rec := range res.Records {
+		s, ok := rec.Series[name]
+		if !ok {
+			continue
+		}
+		if pts == nil {
+			pts = make([]obs.Point, len(s))
+			sums = make([]dist.Summary, len(s))
+			for i, p := range s {
+				pts[i].T = p.T
+			}
+		} else if !sameLadder(pts, s) {
+			continue
+		}
+		for i, p := range s {
+			sums[i].Add(p.V)
+		}
+		merged++
+	}
+	for i := range pts {
+		pts[i].V = sums[i].Mean()
+	}
+	return pts, merged
+}
+
+// sameLadder reports whether a series shares the reference time ladder.
+func sameLadder(ref []obs.Point, s []obs.Point) bool {
+	if len(ref) != len(s) {
+		return false
+	}
+	for i := range ref {
+		if ref[i].T != s[i].T {
+			return false
+		}
+	}
+	return true
+}
 
 // Summary returns the aggregate for one metric (an empty summary when no
 // replica reported it).
@@ -186,11 +300,11 @@ func Run(ctx context.Context, job Job) (*Result, error) {
 		}
 	}
 
-	samples, err := runPool(ctx, job, streams)
+	records, err := runPool(ctx, job, streams)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Job: job.Name, Replicas: job.Replicas, Samples: samples}
+	res := &Result{Job: job.Name, Replicas: job.Replicas, Records: records}
 	res.aggregate()
 	if job.Sink != nil {
 		if err := emit(job, res); err != nil {
@@ -200,10 +314,10 @@ func Run(ctx context.Context, job Job) (*Result, error) {
 	return res, nil
 }
 
-// sortedKeys returns a sample's keys in sorted order.
-func sortedKeys(s Sample) []string {
-	keys := make([]string, 0, len(s))
-	for k := range s {
+// sortedKeys returns a map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)

@@ -14,6 +14,7 @@ import (
 	"repro/internal/codedsim"
 	"repro/internal/gf"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/peersim"
 	"repro/internal/pieceset"
 	"repro/internal/rng"
@@ -66,8 +67,8 @@ func TestDeterministicAcrossWorkerCounts(t *testing.T) {
 			ref = res
 			continue
 		}
-		if !reflect.DeepEqual(res.Samples, ref.Samples) {
-			t.Errorf("workers=%d samples differ:\n%v\nvs\n%v", workers, res.Samples, ref.Samples)
+		if !reflect.DeepEqual(res.Records, ref.Records) {
+			t.Errorf("workers=%d records differ:\n%v\nvs\n%v", workers, res.Records, ref.Records)
 		}
 		for _, k := range ref.Keys() {
 			if got, want := res.Summary(k).Mean(), ref.Summary(k).Mean(); got != want {
@@ -101,16 +102,16 @@ func TestStreamsIndependentOfWorkerCount(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(serial.Samples, parallel.Samples) {
+	if !reflect.DeepEqual(serial.Records, parallel.Records) {
 		t.Error("replica streams depend on worker count")
 	}
 	// And distinct replicas see distinct streams.
 	seen := map[float64]bool{}
-	for _, s := range serial.Samples {
-		if seen[s["draw"]] {
-			t.Errorf("duplicate first draw %v across replicas", s["draw"])
+	for _, rec := range serial.Records {
+		if seen[rec.Values["draw"]] {
+			t.Errorf("duplicate first draw %v across replicas", rec.Values["draw"])
 		}
-		seen[s["draw"]] = true
+		seen[rec.Values["draw"]] = true
 	}
 }
 
@@ -132,10 +133,10 @@ func TestStreamForOverridesDerivation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for i, s := range res.Samples {
+		for i := range res.Records {
 			want := float64(rng.New(uint64(i)+7).Uint64() >> 11)
-			if s["draw"] != want {
-				t.Errorf("workers %d replica %d draw = %v, want %v", workers, i, s["draw"], want)
+			if got := res.Sample(i)["draw"]; got != want {
+				t.Errorf("workers %d replica %d draw = %v, want %v", workers, i, got, want)
 			}
 		}
 	}
@@ -497,6 +498,119 @@ func TestBackendNames(t *testing.T) {
 func TestDefaultWorkers(t *testing.T) {
 	if DefaultWorkers() < 1 {
 		t.Error("DefaultWorkers < 1")
+	}
+}
+
+// observedSwarmJob runs the type-count simulator with a trajectory series,
+// a hitting watch, and a sojourn-free scalar measure — the full structured
+// record path.
+func observedSwarmJob(workers int) Job {
+	return Job{
+		Name: "observed-swarm",
+		Backend: &SwarmBackend{
+			Params: testParams(),
+			Observe: func(rep int, sw *sim.Swarm) *obs.Set {
+				return obs.NewSet(
+					obs.NewSeries("n", 0, 2, 64, func() float64 { return float64(sw.N()) }),
+					obs.NewPopulationWatch("n3", 3, false),
+				)
+			},
+			Measure: func(ctx context.Context, rep int, sw *sim.Swarm) (Sample, error) {
+				if _, err := sw.RunUntil(40, 0); err != nil {
+					return nil, err
+				}
+				return Sample{"final_n": float64(sw.N())}, nil
+			},
+		},
+		Replicas: 8,
+		Seed:     3,
+		Workers:  workers,
+	}
+}
+
+// TestObserversProduceStructuredRecords: series and marks flow from the
+// per-replica pipeline into Records, marks aggregate as conditional
+// metrics, and everything is identical across worker counts.
+func TestObserversProduceStructuredRecords(t *testing.T) {
+	var ref *Result
+	for _, workers := range []int{1, 8} {
+		res, err := Run(context.Background(), observedSwarmJob(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, rec := range res.Records {
+			pts := rec.Series["n"]
+			if len(pts) == 0 {
+				t.Fatalf("replica %d has no n series", i)
+			}
+			if pts[0].T != 0 || pts[len(pts)-1].T > 40 {
+				t.Errorf("replica %d series spans [%v, %v], want within [0, 40]",
+					i, pts[0].T, pts[len(pts)-1].T)
+			}
+		}
+		if got := res.SeriesKeys(); !reflect.DeepEqual(got, []string{"n"}) {
+			t.Errorf("series keys = %v", got)
+		}
+		// The n3 watch aggregates like a conditional scalar: Count = hits.
+		if res.Count("n3") == 0 {
+			t.Error("no replica reported the n3 hitting mark")
+		}
+		if res.Count("n3") > 0 && !(res.Mean("n3") > 0) {
+			t.Errorf("n3 mean hitting time = %v", res.Mean("n3"))
+		}
+		mean, merged := res.MeanSeries("n")
+		if merged == 0 || len(mean) == 0 {
+			t.Fatalf("MeanSeries merged %d replicas", merged)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(res.Records, ref.Records) {
+			t.Error("structured records differ across worker counts")
+		}
+	}
+}
+
+func TestSinkCarriesSeriesAndMarks(t *testing.T) {
+	outputs := make([]string, 0, 2)
+	for _, workers := range []int{1, 8} {
+		var b strings.Builder
+		job := observedSwarmJob(workers)
+		job.Sink = NewJSONLSink(&b)
+		if _, err := Run(context.Background(), job); err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, b.String())
+	}
+	if outputs[0] != outputs[1] {
+		t.Error("observed JSONL differs across worker counts")
+	}
+	if !strings.Contains(outputs[0], `"series":{"n":[`) {
+		t.Error("JSONL replica records missing series")
+	}
+	if !strings.Contains(outputs[0], `"marks":{"n3":`) {
+		t.Error("JSONL replica records missing marks")
+	}
+}
+
+// TestMeanSeriesSkipsMismatchedLadders: replicas whose decimation ladder
+// differs are excluded from the pointwise mean, not silently misaligned.
+func TestMeanSeriesSkipsMismatchedLadders(t *testing.T) {
+	res := &Result{Records: []Record{
+		{Series: map[string][]obs.Point{"x": {{T: 0, V: 1}, {T: 1, V: 3}}}},
+		{Series: map[string][]obs.Point{"x": {{T: 0, V: 3}, {T: 1, V: 5}}}},
+		{Series: map[string][]obs.Point{"x": {{T: 0, V: 100}, {T: 2, V: 100}}}},
+	}}
+	pts, merged := res.MeanSeries("x")
+	if merged != 2 {
+		t.Fatalf("merged = %d, want 2", merged)
+	}
+	if pts[0].V != 2 || pts[1].V != 4 {
+		t.Errorf("mean series = %v", pts)
+	}
+	if _, merged := res.MeanSeries("absent"); merged != 0 {
+		t.Error("absent series reported merges")
 	}
 }
 

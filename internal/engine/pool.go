@@ -10,12 +10,12 @@ import (
 )
 
 // runPool fans the replicas across the job's worker pool and returns the
-// samples indexed by replica. On any replica error the remaining work is
-// cancelled and a real backend failure is reported in preference to the
-// cancellations it spread; with several independently failing replicas the
-// one reported may vary with scheduling (successful runs stay bit-for-bit
-// deterministic — only the error path is schedule-dependent).
-func runPool(ctx context.Context, job Job, streams []*rng.RNG) ([]Sample, error) {
+// structured records indexed by replica. On any replica error the remaining
+// work is cancelled and a real backend failure is reported in preference to
+// the cancellations it spread; with several independently failing replicas
+// the one reported may vary with scheduling (successful runs stay
+// bit-for-bit deterministic — only the error path is schedule-dependent).
+func runPool(ctx context.Context, job Job, streams []*rng.RNG) ([]Record, error) {
 	n := len(streams)
 	workers := job.Workers
 	if workers <= 0 {
@@ -25,7 +25,7 @@ func runPool(ctx context.Context, job Job, streams []*rng.RNG) ([]Sample, error)
 		workers = n
 	}
 
-	samples := make([]Sample, n)
+	records := make([]Record, n)
 	errs := make([]error, n)
 
 	runOne := func(ctx context.Context, i int) {
@@ -33,12 +33,12 @@ func runPool(ctx context.Context, job Job, streams []*rng.RNG) ([]Sample, error)
 			errs[i] = err
 			return
 		}
-		s, err := job.Backend.RunReplica(ctx, i, streams[i])
+		rec, err := job.Backend.RunReplica(ctx, i, streams[i])
 		if err != nil {
 			errs[i] = fmt.Errorf("engine: job %q replica %d: %w", job.Name, i, err)
 			return
 		}
-		samples[i] = s
+		records[i] = rec
 	}
 
 	if workers == 1 {
@@ -53,7 +53,7 @@ func runPool(ctx context.Context, job Job, streams []*rng.RNG) ([]Sample, error)
 				job.Progress(i+1, n)
 			}
 		}
-		return samples, nil
+		return records, nil
 	}
 
 	poolCtx, cancel := context.WithCancel(ctx)
@@ -100,7 +100,7 @@ feed:
 	if err := firstError(ctx, errs); err != nil {
 		return nil, err
 	}
-	return samples, nil
+	return records, nil
 }
 
 // firstError returns the lowest-replica real failure, skipping the bare

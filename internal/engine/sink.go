@@ -5,15 +5,23 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"repro/internal/obs"
 )
 
-// ReplicaRecord is one replica's structured outcome as emitted to a sink.
+// ReplicaRecord is one replica's structured outcome as emitted to a sink:
+// scalar values plus, when an observer pipeline was attached, its decimated
+// trajectory series and event marks. Series and marks are omitted from the
+// JSON when empty, so scalar-only jobs emit the same bytes as before the
+// observation layer existed.
 type ReplicaRecord struct {
-	Kind    string `json:"kind"` // "replica"
-	Job     string `json:"job"`
-	Backend string `json:"backend"`
-	Replica int    `json:"replica"`
-	Values  Sample `json:"values"`
+	Kind    string                 `json:"kind"` // "replica"
+	Job     string                 `json:"job"`
+	Backend string                 `json:"backend"`
+	Replica int                    `json:"replica"`
+	Values  Sample                 `json:"values"`
+	Series  map[string][]obs.Point `json:"series,omitempty"`
+	Marks   map[string]float64     `json:"marks,omitempty"`
 }
 
 // MetricAggregate is the sink-facing view of one metric's summary. NaN is
@@ -49,13 +57,15 @@ type Sink interface {
 
 // emit streams a completed result to the job's sink.
 func emit(job Job, res *Result) error {
-	for i, s := range res.Samples {
+	for i, r := range res.Records {
 		rec := ReplicaRecord{
 			Kind:    "replica",
 			Job:     job.Name,
 			Backend: job.Backend.Name(),
 			Replica: i,
-			Values:  s,
+			Values:  r.Values,
+			Series:  r.Series,
+			Marks:   r.Marks,
 		}
 		if err := job.Sink.WriteReplica(rec); err != nil {
 			return fmt.Errorf("engine: sink: %w", err)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pieceset"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -58,28 +59,37 @@ func RunE8(cfg Config) (*Table, error) {
 
 	// Part 2: top-layer excursions from a large club rarely shrink within
 	// a bounded number of transitions — null-recurrence signature. One
-	// engine replica per excursion.
+	// engine replica per excursion; the halving detection is a stopping
+	// hitting-time watcher on the chain's population, so the replica loop
+	// is a plain bounded advance with no inline sampling.
 	startN := cfg.pickInt(500, 2000)
 	excursions := cfg.pickInt(30, 100)
 	maxSteps := cfg.pickInt(1500, 20000)
 	res, err := cfg.run(cfg.job("E8/excursions", &engine.BorderlineBackend{
 		K: 3, Lambda: 1,
+		Observe: func(rep int, c *borderline.Chain) *obs.Set {
+			return obs.NewSet(obs.NewWatch("halved", true, func(_, pop float64) bool {
+				return pop <= float64(startN/2)
+			}))
+		},
 		Measure: func(ctx context.Context, rep int, c *borderline.Chain) (engine.Sample, error) {
 			if err := c.SetState(startN, 2); err != nil {
 				return nil, err
 			}
-			for step := 1; step <= maxSteps; step++ {
-				if step%4096 == 0 {
-					if err := ctx.Err(); err != nil {
-						return nil, err
-					}
+			for done := 0; done < maxSteps && !c.Halted(); done += 4096 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
 				}
-				c.Step()
-				if n, _ := c.State(); n <= startN/2 {
-					return engine.Sample{"steps": float64(step)}, nil
+				chunk := maxSteps - done
+				if chunk > 4096 {
+					chunk = 4096
 				}
+				c.RunTransitions(chunk)
 			}
-			return engine.Sample{"capped": 1}, nil
+			if !c.Halted() {
+				return engine.Sample{"capped": 1}, nil
+			}
+			return engine.Sample{"steps": float64(c.Stats().Transitions)}, nil
 		},
 	}, excursions, 0))
 	if err != nil {
@@ -187,7 +197,7 @@ func RunE9(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	for i, cse := range cases {
-		s := res.Samples[i]
+		s := res.Sample(i)
 		t.AddRow(cse.label, fmtF(cse.eta),
 			fmtF(s["events_per_unit"]),
 			fmtF(s["drain_per_unit"]), fmt.Sprintf("%d", int(s["final_n"])))

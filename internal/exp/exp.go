@@ -1,8 +1,9 @@
-// Package exp defines the reproduction experiments E1–E16 that regenerate
+// Package exp defines the reproduction experiments E1–E17 that regenerate
 // every quantitative artifact of the paper (the worked examples of Section
 // IV, the missing-piece growth law of Sections V–VI, the Theorem 15 coding
 // thresholds, and the Section VIII-D borderline process) plus the scenario
-// extensions (flash crowds, churn), each as a self-contained table
+// extensions (flash crowds, churn) and the observation-pipeline checks
+// (Little's law, one-club formation times), each as a self-contained table
 // generator. The cmd/experiments binary renders all of them; the bench
 // harness times them; EXPERIMENTS.md records their output.
 package exp
@@ -185,6 +186,7 @@ func All() []Experiment {
 		{ID: "E14", Title: "Heavy-traffic approach to the stability boundary", Artifact: "Theorem 1 boundary (extension)", Run: RunE14},
 		{ID: "E15", Title: "Scenario layer: flash-crowd ramp and downloader churn", Artifact: "kernel scenario layer (extension)", Run: RunE15},
 		{ID: "E16", Title: "Phase maps via the adaptive sweep subsystem", Artifact: "Fig. 1(a)–(c) + scenario diagram (extension)", Run: RunE16},
+		{ID: "E17", Title: "Streaming observation: Little's law and one-club formation times", Artifact: "Little's law / observer pipeline (extension)", Run: RunE17},
 	}
 }
 

@@ -8,8 +8,8 @@ import (
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Fatalf("expected 16 experiments, got %d", len(all))
+	if len(all) != 17 {
+		t.Fatalf("expected 17 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -129,6 +129,14 @@ func TestE13Quick(t *testing.T) {
 
 func TestE14Quick(t *testing.T) { checkNoDisagreement(t, "E14") }
 
+func TestE17Quick(t *testing.T) {
+	tb := checkNoDisagreement(t, "E17")
+	// Three Little's-law points (two rows each) plus the formation rows.
+	if len(tb.Rows) < 7 {
+		t.Errorf("E17 rows = %d, want ≥ 7", len(tb.Rows))
+	}
+}
+
 func TestE15Quick(t *testing.T) {
 	tb := checkNoDisagreement(t, "E15")
 	if len(tb.Rows) != 4 {
@@ -156,7 +164,7 @@ func TestE15Knobs(t *testing.T) {
 // level: for a fixed seed the rendered experiment output must be identical
 // for 1, 2, and 8 workers (also exercised under -race in CI).
 func TestTableDeterminismAcrossWorkers(t *testing.T) {
-	for _, id := range []string{"E5", "E8", "E9", "E13", "E15"} {
+	for _, id := range []string{"E5", "E8", "E9", "E13", "E15", "E17"} {
 		e, err := ByID(id)
 		if err != nil {
 			t.Fatal(err)

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -9,10 +10,15 @@ import (
 	"repro/internal/engine"
 	"repro/internal/gf"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pieceset"
 	"repro/internal/sim"
 	"repro/internal/stability"
 )
+
+// errStopped marks a replica ended early by its stopping watcher; run
+// loops translate it back into a clean return.
+var errStopped = errors.New("exp: stopped by observer")
 
 // RunE13 implements the future-work study proposed in the paper's
 // conclusion: provably transient systems can dwell in a quasi-stable
@@ -48,29 +54,33 @@ func RunE13(cfg Config) (*Table, error) {
 		onsetFrac = 0.6 // fraction of peers in one club
 	)
 
-	detectOnset := func(ctx context.Context, sw *sim.Swarm) (engine.Sample, error) {
-		var events uint64
-		for sw.Now() < horizon {
-			if events%8192 == 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-			}
-			events++
-			if err := sw.Step(); err != nil {
-				return nil, err
-			}
-			n := sw.N()
-			if n < onsetN {
-				continue
+	// One-club dominance is a stopping hitting-time watcher: the replica is
+	// a plain sliced advance, and the onset time flows into the aggregate as
+	// the watch's conditional event mark — no inline sampling loop.
+	oneClubDominates := func(sw *sim.Swarm) func(t, pop float64) bool {
+		return func(_, pop float64) bool {
+			if pop < onsetN {
+				return false
 			}
 			for k := 1; k <= p.K; k++ {
-				if float64(sw.OneClub(k)) >= onsetFrac*float64(n) {
-					return engine.Sample{"onset": sw.Now()}, nil
+				if float64(sw.OneClub(k)) >= onsetFrac*pop {
+					return true
 				}
 			}
+			return false
 		}
-		return engine.Sample{}, nil
+	}
+	advance := func(ctx context.Context, now func() float64, run func(float64) error) error {
+		step := horizon / 64
+		for target := step; now() < horizon; target += step {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := run(math.Min(target, horizon)); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 
 	for i, pol := range sim.AllPolicies() {
@@ -78,8 +88,21 @@ func RunE13(cfg Config) (*Table, error) {
 			Label:   "onset/" + pol.Name(),
 			Params:  p,
 			Options: []sim.Option{sim.WithPolicy(pol)},
+			Observe: func(rep int, sw *sim.Swarm) *obs.Set {
+				return obs.NewSet(obs.NewWatch("onset", true, oneClubDominates(sw)))
+			},
 			Measure: func(ctx context.Context, rep int, sw *sim.Swarm) (engine.Sample, error) {
-				return detectOnset(ctx, sw)
+				err := advance(ctx, sw.Now, func(target float64) error {
+					reason, err := sw.RunUntil(target, 0)
+					if err == nil && reason == sim.StopObserver {
+						return errStopped
+					}
+					return err
+				})
+				if err != nil && !errors.Is(err, errStopped) {
+					return nil, err
+				}
+				return engine.Sample{}, nil
 			},
 		}, replicas, uint64(i)*101))
 		if err != nil {
@@ -108,26 +131,24 @@ func RunE13(cfg Config) (*Table, error) {
 	res, err := cfg.run(cfg.job("E13/coded", &engine.CodedBackend{
 		Label:  "onset/coded",
 		Params: coded,
+		Observe: func(rep int, sw *codedsim.Swarm) *obs.Set {
+			// The coded "one club" is a dominant (K−1)-dimensional deficit.
+			return obs.NewSet(obs.NewWatch("onset", true, func(_, pop float64) bool {
+				return pop >= onsetN && float64(sw.DimCounts()[p.K-1]) >= onsetFrac*pop
+			}))
+		},
 		Measure: func(ctx context.Context, rep int, sw *codedsim.Swarm) (engine.Sample, error) {
-			var events uint64
-			for sw.Now() < horizon {
-				if events%8192 == 0 {
-					if err := ctx.Err(); err != nil {
-						return nil, err
-					}
+			err := advance(ctx, sw.Now, func(target float64) error {
+				if err := sw.RunUntil(target, 0); err != nil {
+					return err
 				}
-				events++
-				if err := sw.Step(); err != nil {
-					return nil, err
+				if sw.Halted() {
+					return errStopped
 				}
-				n := sw.N()
-				if n < onsetN {
-					continue
-				}
-				dims := sw.DimCounts()
-				if float64(dims[p.K-1]) >= onsetFrac*float64(n) {
-					return engine.Sample{"onset": sw.Now()}, nil
-				}
+				return nil
+			})
+			if err != nil && !errors.Is(err, errStopped) {
+				return nil, err
 			}
 			return engine.Sample{}, nil
 		},

@@ -8,6 +8,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/kernel"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pieceset"
 	"repro/internal/sim"
 )
@@ -119,16 +120,20 @@ func RunE15(cfg Config) (*Table, error) {
 }
 
 // scenarioBackend measures one replica under a workload overlay: advance
-// in slices to the horizon (or the runaway cap), tracking the peak
-// population across slices; a replica "grew" when it hit the cap or ended
-// at growAt or more peers.
+// in slices to the horizon (or the runaway cap) for prompt cancellation,
+// with the peak population tracked by a running-max observer — the exact
+// event-level peak, not the slice-boundary approximation the old inline
+// loop sampled. A replica "grew" when it hit the cap or ended at growAt
+// or more peers.
 func scenarioBackend(p model.Params, sc kernel.Scenario, horizon float64, peerCap, growAt int) engine.Backend {
 	return &engine.SwarmBackend{
 		Label:    "scenario",
 		Params:   p,
 		Scenario: sc,
+		Observe: func(rep int, sw *sim.Swarm) *obs.Set {
+			return obs.NewSet(obs.NewMax("peak_n", func() float64 { return float64(sw.N()) }))
+		},
 		Measure: func(ctx context.Context, rep int, sw *sim.Swarm) (engine.Sample, error) {
-			peak := sw.N()
 			reason := sim.StopTime
 			step := horizon / 100
 			for target := step; sw.Now() < horizon; target += step {
@@ -140,17 +145,11 @@ func scenarioBackend(p model.Params, sc kernel.Scenario, horizon float64, peerCa
 				if err != nil {
 					return nil, err
 				}
-				if n := sw.N(); n > peak {
-					peak = n
-				}
 				if reason == sim.StopPeers {
 					break
 				}
 			}
-			sample := engine.Sample{
-				"final_n": float64(sw.N()),
-				"peak_n":  float64(peak),
-			}
+			sample := engine.Sample{"final_n": float64(sw.N())}
 			if reason == sim.StopPeers || sw.N() >= growAt {
 				sample["grew"] = 1
 			} else {

@@ -87,7 +87,7 @@ func RunE10(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	for i, cse := range cases {
-		s := res.Samples[i]
+		s := res.Sample(i)
 		relErr := math.Abs(s["sim_en"]-s["exact_en"]) / s["exact_en"]
 		t.AddRow(cse.label, fmtF(s["exact_en"]), fmtF(s["sim_en"]),
 			fmt.Sprintf("%.1f%%", 100*relErr), markAgreement(relErr < 0.15))

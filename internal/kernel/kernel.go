@@ -28,6 +28,28 @@ import (
 // transition and simulated time cannot advance.
 var ErrNoProgress = errors.New("kernel: zero total event rate")
 
+// ErrHalted reports that the attached tap asked the kernel to stop after a
+// committed event (a hitting-time watcher fired, typically). The event that
+// triggered the halt has been fully applied and observed; callers treat the
+// error as a clean early stop, not a failure.
+var ErrHalted = errors.New("kernel: halted by observer")
+
+// Tap receives every committed kernel event, after Fire has run and the
+// occupancy estimator has been updated. population is the post-event
+// Process.Population(). The streaming observer pipeline (internal/obs)
+// implements Tap; a nil tap costs one predictable branch per event
+// (< 2% of the event-loop budget, enforced by TestTapOffOverhead).
+type Tap interface {
+	OnEvent(t float64, class int, population float64)
+}
+
+// Halter is optionally implemented by taps that can request an early stop
+// (hitting-time watchers). When Halted returns true after an event, Step
+// returns ErrHalted.
+type Halter interface {
+	Halted() bool
+}
+
 // Process is one continuous-time Markov chain plugged into the kernel.
 // Implementations are the four simulators (type-count, peer-granular,
 // network-coded, borderline) and any future workload.
@@ -55,6 +77,8 @@ type Kernel struct {
 	events uint64
 	rates  []float64
 	occ    dist.TimeAverage
+	tap    Tap
+	halter Halter
 }
 
 // New builds a kernel driving proc from the given stream and records the
@@ -73,6 +97,27 @@ func (k *Kernel) Events() uint64 { return k.events }
 
 // RNG returns the kernel's stream, shared with the process's sub-draws.
 func (k *Kernel) RNG() *rng.RNG { return k.r }
+
+// SetTap attaches (or, with nil, detaches) the post-event observer tap.
+// If the tap also implements Halter, Step honors its stop requests by
+// returning ErrHalted. Taps consume no randomness, so attaching one never
+// changes which realization a seed produces.
+func (k *Kernel) SetTap(t Tap) {
+	k.tap = t
+	k.halter = nil
+	if h, ok := t.(Halter); ok {
+		k.halter = h
+	}
+}
+
+// Tap returns the currently attached tap (nil when none), so callers can
+// compose temporary observers around an existing pipeline and restore it.
+func (k *Kernel) Tap() Tap { return k.tap }
+
+// TapHalted reports whether the attached tap is currently requesting a
+// halt — how run loops distinguish an observer stop from a horizon stop
+// when their simulator's RunUntil has no StopReason channel.
+func (k *Kernel) TapHalted() bool { return k.halter != nil && k.halter.Halted() }
 
 // MeanPopulation returns the time-averaged population since construction
 // or the last ResetOccupancy — the estimator for E[N].
@@ -117,6 +162,13 @@ func (k *Kernel) Step() error {
 	if err := k.proc.Fire(class); err != nil {
 		return err
 	}
-	k.occ.Observe(k.now, k.proc.Population())
+	pop := k.proc.Population()
+	k.occ.Observe(k.now, pop)
+	if k.tap != nil {
+		k.tap.OnEvent(k.now, class, pop)
+		if k.halter != nil && k.halter.Halted() {
+			return ErrHalted
+		}
+	}
 	return nil
 }

@@ -153,6 +153,136 @@ func TestKernelSkipsZeroRateClasses(t *testing.T) {
 	}
 }
 
+// tapRecorder captures the post-event stream for tap tests.
+type tapRecorder struct {
+	ts      []float64
+	classes []int
+	pops    []float64
+	stopAt  float64 // halt once population reaches this (0 = never)
+}
+
+func (r *tapRecorder) OnEvent(t float64, class int, pop float64) {
+	r.ts = append(r.ts, t)
+	r.classes = append(r.classes, class)
+	r.pops = append(r.pops, pop)
+}
+
+func (r *tapRecorder) Halted() bool {
+	return r.stopAt > 0 && len(r.pops) > 0 && r.pops[len(r.pops)-1] >= r.stopAt
+}
+
+func TestKernelTapSeesEveryEvent(t *testing.T) {
+	p := &birthDeath{lambda: 3, mu: 1}
+	k := New(rng.New(5), p)
+	rec := &tapRecorder{}
+	k.SetTap(rec)
+	if k.Tap() != rec {
+		t.Fatal("Tap accessor does not return the attached tap")
+	}
+	const steps = 2000
+	for i := 0; i < steps; i++ {
+		if err := k.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(rec.ts) != steps {
+		t.Fatalf("tap saw %d events, want %d", len(rec.ts), steps)
+	}
+	for i := range rec.ts {
+		if i > 0 && rec.ts[i] <= rec.ts[i-1] {
+			t.Fatalf("tap times not increasing at %d", i)
+		}
+		if rec.classes[i] != 0 && rec.classes[i] != 1 {
+			t.Fatalf("tap class out of range: %d", rec.classes[i])
+		}
+	}
+	// The tap's view of the final population matches the process.
+	if got := rec.pops[len(rec.pops)-1]; got != p.Population() {
+		t.Errorf("final tap population %v != process %v", got, p.Population())
+	}
+	// Detaching stops delivery.
+	k.SetTap(nil)
+	if err := k.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.ts) != steps {
+		t.Error("detached tap still receives events")
+	}
+}
+
+// TestKernelTapDrawsNothing: attaching a tap must not change which
+// realization a seed produces.
+func TestKernelTapDrawsNothing(t *testing.T) {
+	run := func(tap Tap) (float64, uint64) {
+		p := &birthDeath{lambda: 2, mu: 1}
+		k := New(rng.New(17), p)
+		k.SetTap(tap)
+		for i := 0; i < 3000; i++ {
+			if err := k.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return k.Now(), k.Events()
+	}
+	plainT, plainE := run(nil)
+	tapT, tapE := run(&tapRecorder{})
+	if plainT != tapT || plainE != tapE {
+		t.Errorf("tap changed the realization: (%v,%v) vs (%v,%v)", plainT, plainE, tapT, tapE)
+	}
+}
+
+func TestKernelTapHalts(t *testing.T) {
+	p := &birthDeath{lambda: 5, mu: 0.1}
+	k := New(rng.New(9), p)
+	rec := &tapRecorder{stopAt: 20}
+	k.SetTap(rec)
+	var err error
+	for i := 0; i < 100000; i++ {
+		if err = k.Step(); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrHalted) {
+		t.Fatalf("err = %v, want ErrHalted", err)
+	}
+	if p.n < 20 {
+		t.Errorf("halted before the trigger: n = %d", p.n)
+	}
+	// The triggering event was fully committed and observed.
+	if got := rec.pops[len(rec.pops)-1]; got != float64(p.n) {
+		t.Errorf("halt event not observed: %v != %v", got, p.n)
+	}
+}
+
+// TestMeanPopulationClosedForm property-tests the kernel's occupancy
+// estimator: for a birth–death path, the time average reconstructed in
+// closed form from the tap's (time, population) step function must match
+// Kernel.MeanPopulation exactly (same piecewise-constant integral).
+func TestMeanPopulationClosedForm(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		p := &birthDeath{lambda: 4, mu: 1, n: int(seed % 7)}
+		k := New(rng.New(seed), p)
+		rec := &tapRecorder{}
+		k.SetTap(rec)
+		// Initial level: population at time zero, before any event.
+		prevT, prevV := 0.0, p.Population()
+		for i := 0; i < 500; i++ {
+			if err := k.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var integral float64
+		for i := range rec.ts {
+			integral += prevV * (rec.ts[i] - prevT)
+			prevT, prevV = rec.ts[i], rec.pops[i]
+		}
+		want := integral / prevT
+		if got := k.MeanPopulation(); math.Abs(got-want) > 1e-9*(1+want) {
+			t.Errorf("seed %d: MeanPopulation = %v, closed form = %v", seed, got, want)
+		}
+	}
+}
+
 func TestFlashCrowdProfile(t *testing.T) {
 	f := FlashCrowd{Start: 10, Rise: 5, Hold: 20, Fall: 5, Peak: 6}
 	cases := []struct{ t, want float64 }{

@@ -1,0 +1,8 @@
+//go:build !race
+
+package kernel
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// gates skip under -race, where instrumentation overhead swamps the
+// nanosecond-scale differences being measured.
+const raceEnabled = false

@@ -222,10 +222,8 @@ func minP(p model.Params) (float64, error) {
 	var need float64
 	for _, c := range pieceset.AllProper(p.K) {
 		var lambdaE, lambdaStarH float64
-		for cp, l := range p.Lambda {
-			if l <= 0 {
-				continue
-			}
+		for _, cp := range p.ArrivalTypes() {
+			l := p.Lambda[cp]
 			if cp.SubsetOf(c) {
 				lambdaE += l
 			} else {

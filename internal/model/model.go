@@ -78,11 +78,16 @@ func (p Params) Validate() error {
 	return nil
 }
 
-// LambdaTotal returns λ_total = Σ_C λ_C.
+// LambdaTotal returns λ_total = Σ_C λ_C, accumulated in ascending type
+// order: float sums depend on association order, so summing in map
+// iteration order would make the last ulp of λ_total — and every value
+// derived from it — vary run to run, breaking the byte-identity of
+// emitted JSONL and tables. Event loops cache the result (it allocates
+// for the sort) rather than re-summing per event.
 func (p Params) LambdaTotal() float64 {
 	var total float64
-	for _, l := range p.Lambda {
-		total += l
+	for _, c := range p.ArrivalTypes() {
+		total += p.Lambda[c]
 	}
 	return total
 }
@@ -278,14 +283,13 @@ func (p Params) Transitions(x State) ([]Transition, error) {
 	full := pieceset.Full(p.K)
 	var out []Transition
 
-	// Exogenous arrivals: x → x + e_C at rate λ_C.
-	for c, l := range p.Lambda {
-		if l <= 0 {
-			continue
-		}
+	// Exogenous arrivals: x → x + e_C at rate λ_C, in ascending type order
+	// so downstream float folds (the exact solver's row sums) are
+	// independent of map iteration order.
+	for _, c := range p.ArrivalTypes() {
 		next := x.Clone()
 		next[int(c)]++
-		out = append(out, Transition{Rate: l, Next: next, Kind: KindArrival, Type: c})
+		out = append(out, Transition{Rate: p.Lambda[c], Next: next, Kind: KindArrival, Type: c})
 	}
 
 	// Peer-seed departures: x → x − e_F at rate γ·x_F (γ < ∞ only).

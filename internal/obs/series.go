@@ -1,0 +1,128 @@
+package obs
+
+import "fmt"
+
+// Series decimates a probed piecewise-constant signal onto a time ladder
+// with at most `capacity` stored points. Points sit at start + i·dt; when
+// the ladder would exceed the capacity, dt doubles and every other point is
+// dropped, so memory stays fixed however long the run grows.
+//
+// Determinism invariant: the emitted points are a pure function of the
+// observed signal path and (start, dt₀, capacity). Each point records the
+// signal's value AT its ladder time — the value set by the last event
+// strictly before it — so runs that realize the same path with different
+// event counts (extra no-op events, merged events) emit byte-identical
+// series, and the engine's replica-order emission keeps multi-replica JSONL
+// byte-identical across worker counts.
+type Series struct {
+	name    string
+	probe   Probe
+	cap     int
+	start   float64
+	dt      float64
+	end     float64 // ladder bound (bounded series only)
+	bounded bool
+	next    float64 // next ladder time to fill
+	last    float64 // signal value as of the latest event (or construction)
+	pts     []Point
+}
+
+// NewSeries builds a decimator for probe, anchored at time start with
+// initial ladder spacing dt and at most capacity stored points
+// (capacity ≥ 4). The probe is read once immediately to capture the
+// initial level. It panics on a non-positive dt or undersized capacity —
+// construction-time programming errors, like the simulators' option
+// validation.
+func NewSeries(name string, start, dt float64, capacity int, probe Probe) *Series {
+	if dt <= 0 {
+		panic(fmt.Sprintf("obs: series %q ladder spacing %v must be positive", name, dt))
+	}
+	if capacity < 4 {
+		panic(fmt.Sprintf("obs: series %q capacity %d < 4", name, capacity))
+	}
+	return &Series{
+		name:  name,
+		probe: probe,
+		cap:   capacity,
+		start: start,
+		dt:    dt,
+		next:  start,
+		last:  probe(),
+	}
+}
+
+// NewBoundedSeries is NewSeries with a ladder bound: no point is emitted
+// past time end, and the first event at or beyond the bound completes the
+// ladder through it (with the pre-event level — the signal's value AT the
+// bound) and freezes the series. Fixed-horizon traces use this so the one
+// exponential-holding-time overshoot past the horizon can neither extend
+// the trace nor overflow the capacity into a resolution-halving compress.
+func NewBoundedSeries(name string, start, dt float64, capacity int, end float64, probe Probe) *Series {
+	s := NewSeries(name, start, dt, capacity, probe)
+	if end < start {
+		panic(fmt.Sprintf("obs: series %q bound %v before start %v", name, end, start))
+	}
+	s.end = end
+	s.bounded = true
+	return s
+}
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// OnEvent implements Observer: fill every ladder point strictly before the
+// event with the pre-event level, then cache the post-event level. For a
+// bounded series, an event at or past the bound completes the ladder
+// through the bound (the pre-event level is the signal's value there) and
+// is otherwise ignored.
+func (s *Series) OnEvent(t float64, _ int, _ float64) {
+	if s.bounded && t >= s.end {
+		s.fill(s.end, true)
+		return
+	}
+	s.fill(t, false)
+	s.last = s.probe()
+}
+
+// Seal implements Sealer: extend the ladder through the end time with the
+// final level (the signal is constant after the last event), clamped to
+// the bound for a bounded series. Idempotent.
+func (s *Series) Seal(t float64) {
+	if s.bounded && t > s.end {
+		t = s.end
+	}
+	s.fill(t, true)
+}
+
+// Points returns the decimated trajectory so far. The returned slice
+// aliases internal storage; callers emitting it must not mutate it.
+func (s *Series) Points() []Point { return s.pts }
+
+// EmitTo implements Emitter.
+func (s *Series) EmitTo(snap *Snapshot) { snap.setSeries(s.name, s.pts) }
+
+// fill appends ladder points before t (or through t when closing) at the
+// cached level, doubling the ladder spacing whenever capacity would
+// overflow.
+func (s *Series) fill(t float64, closing bool) {
+	for s.next < t || (closing && s.next <= t) {
+		if len(s.pts) == s.cap {
+			s.compress()
+		}
+		s.pts = append(s.pts, Point{T: s.next, V: s.last})
+		s.next += s.dt
+	}
+}
+
+// compress halves the resolution: keep every other point, double dt. The
+// ladder invariant pts[i].T == start + i·dt is preserved, so the schedule
+// of future compressions depends only on elapsed time.
+func (s *Series) compress() {
+	keep := (len(s.pts) + 1) / 2
+	for i := 0; i < keep; i++ {
+		s.pts[i] = s.pts[2*i]
+	}
+	s.pts = s.pts[:keep]
+	s.dt *= 2
+	s.next = s.start + float64(keep)*s.dt
+}

@@ -1,0 +1,87 @@
+package obs
+
+// Watch records the first time a predicate over the observed process
+// becomes true after an event — a hitting time. If constructed with stop,
+// it also implements Halter, so the kernel ends the run at the hit (the
+// triggering event is fully committed and observed first). A watch that
+// hit emits one event mark under its name; one that never hit emits
+// nothing, so across engine replicas hitting times aggregate as
+// conditional metrics (Result.Count reports how many replicas hit).
+type Watch struct {
+	name string
+	pred func(t, population float64) bool
+	stop bool
+	hit  bool
+	t    float64
+}
+
+// NewWatch builds a hitting-time watcher on pred. Predicates that need
+// process internals (one-club size, piece holder counts) close over the
+// simulator and ignore the population argument.
+func NewWatch(name string, stop bool, pred func(t, population float64) bool) *Watch {
+	return &Watch{name: name, pred: pred, stop: stop}
+}
+
+// NewPopulationWatch watches for the first time the population reaches
+// threshold — "first time population ≥ x".
+func NewPopulationWatch(name string, threshold float64, stop bool) *Watch {
+	return NewWatch(name, stop, func(_, pop float64) bool { return pop >= threshold })
+}
+
+// Name returns the watch name.
+func (w *Watch) Name() string { return w.name }
+
+// OnEvent implements Observer.
+func (w *Watch) OnEvent(t float64, _ int, population float64) {
+	if !w.hit && w.pred(t, population) {
+		w.hit = true
+		w.t = t
+	}
+}
+
+// Hit reports whether the predicate has held after some event.
+func (w *Watch) Hit() bool { return w.hit }
+
+// Time returns the hitting time (meaningless before Hit).
+func (w *Watch) Time() float64 { return w.t }
+
+// Halted implements Halter: a stop-watch halts the kernel once hit.
+func (w *Watch) Halted() bool { return w.stop && w.hit }
+
+// EmitTo implements Emitter: the hitting time as an event mark, only when
+// the watch actually hit.
+func (w *Watch) EmitTo(snap *Snapshot) {
+	if w.hit {
+		snap.setMark(w.name, w.t)
+	}
+}
+
+// Max tracks the running maximum of a probed scalar over the event stream
+// — the exact peak, where slice-sampled loops only saw slice boundaries.
+// The probe is read once at construction so the initial state counts.
+type Max struct {
+	name  string
+	probe Probe
+	max   float64
+}
+
+// NewMax builds a running-maximum observer for probe.
+func NewMax(name string, probe Probe) *Max {
+	return &Max{name: name, probe: probe, max: probe()}
+}
+
+// Name returns the observer name.
+func (m *Max) Name() string { return m.name }
+
+// OnEvent implements Observer.
+func (m *Max) OnEvent(float64, int, float64) {
+	if v := m.probe(); v > m.max {
+		m.max = v
+	}
+}
+
+// Value returns the maximum seen so far (including the initial state).
+func (m *Max) Value() float64 { return m.max }
+
+// EmitTo implements Emitter.
+func (m *Max) EmitTo(snap *Snapshot) { snap.setValue(m.name, m.max) }

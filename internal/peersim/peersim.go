@@ -13,11 +13,13 @@
 package peersim
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/dist"
 	"repro/internal/kernel"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pieceset"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -32,6 +34,7 @@ const notCompleted = -1
 // peer is one tracked participant.
 type peer struct {
 	set       pieceset.Set
+	tag       uint64 // sojourn-tracker tag, unique for the swarm's lifetime
 	arrived   float64
 	completed float64 // notCompleted until the last piece arrives
 	uploads   int
@@ -98,11 +101,19 @@ type Swarm struct {
 
 	arrivalTypes   []pieceset.Set
 	arrivalWeights []float64
+	lambdaTotal    float64 // Σ λ_C in sorted type order, cached off the event path
 
-	// Departed-peer statistics.
+	// Departed-peer statistics. Sojourn times (arrival → departure) route
+	// through the observation layer's tag-based tracker, which also carries
+	// streaming quantiles and the Little's-law view (L, λ, W). The tracker
+	// is always on — unlike the gated kernel tap — because per-peer pairing
+	// must start at the first arrival to be offered later, and peersim is
+	// the per-peer reference simulator: the map upkeep is part of its
+	// fidelity budget (internal/sim remains the lean instability tool).
+	sojourn       *obs.Sojourn
+	nextTag       uint64
 	downloadTimes dist.Summary // arrival → completion
 	dwellTimes    dist.Summary // completion → departure (γ < ∞ only)
-	sojournTimes  dist.Summary // arrival → departure
 	uploadsMade   dist.Summary // uploads contributed per departed peer
 
 	departed  int
@@ -129,10 +140,12 @@ func New(p model.Params, opts ...Option) (*Swarm, error) {
 		r:        cfg.generator(),
 		full:     pieceset.Full(p.K),
 		pieces:   make([]int, p.K),
+		sojourn:  obs.NewSojourn("sojourn"),
 	}
 	for _, c := range p.ArrivalTypes() {
 		s.arrivalTypes = append(s.arrivalTypes, c)
 		s.arrivalWeights = append(s.arrivalWeights, p.Lambda[c])
+		s.lambdaTotal += p.Lambda[c]
 	}
 	s.k = kernel.New(s.r, s)
 	return s, nil
@@ -177,7 +190,13 @@ func (s *Swarm) DwellTimes() *dist.Summary { return &s.dwellTimes }
 
 // SojournTimes returns statistics of total time-in-system of departed
 // peers, the E[T] of Little's law.
-func (s *Swarm) SojournTimes() *dist.Summary { return &s.sojournTimes }
+func (s *Swarm) SojournTimes() *dist.Summary { return s.sojourn.Durations() }
+
+// Sojourn returns the swarm's tag-based sojourn tracker (internal/obs):
+// Welford durations, streaming P² quantiles, and the Little's-law view
+// (L, λ, W) over the arrival→departure stream. Add it to the replica's
+// observer set to route its scalars into engine records.
+func (s *Swarm) Sojourn() *obs.Sojourn { return s.sojourn }
 
 // UploadsPerPeer returns statistics of uploads contributed per departed
 // peer.
@@ -193,9 +212,12 @@ func (s *Swarm) TypeCounts() map[pieceset.Set]int {
 	return out
 }
 
-// addPeer admits a peer of the given type at the current time.
+// addPeer admits a peer of the given type at the current time, registering
+// its arrival with the sojourn tracker under a fresh tag.
 func (s *Swarm) addPeer(c pieceset.Set) {
-	p := peer{set: c, arrived: s.k.Now(), completed: notCompleted, seedPos: -1}
+	p := peer{set: c, tag: s.nextTag, arrived: s.k.Now(), completed: notCompleted, seedPos: -1}
+	s.nextTag++
+	s.sojourn.Arrive(p.tag, p.arrived)
 	if c == s.full {
 		p.completed = s.k.Now()
 		p.seedPos = len(s.seedIdx)
@@ -211,7 +233,7 @@ func (s *Swarm) addPeer(c pieceset.Set) {
 func (s *Swarm) removePeer(i int) {
 	p := s.peers[i]
 	s.departed++
-	s.sojournTimes.Add(s.k.Now() - p.arrived)
+	s.sojourn.Depart(p.tag, s.k.Now())
 	if p.completed != notCompleted {
 		s.downloadTimes.Add(p.completed - p.arrived)
 		if !s.params.GammaInf() {
@@ -251,7 +273,7 @@ func (s *Swarm) Population() float64 { return float64(len(s.peers)) }
 // Rates implements kernel.Process.
 func (s *Swarm) Rates(buf []float64) []float64 {
 	n := len(s.peers)
-	arrival := s.params.LambdaTotal() * s.scenario.ArrivalBound()
+	arrival := s.lambdaTotal * s.scenario.ArrivalBound()
 	seed := 0.0
 	if n > 0 {
 		seed = s.params.Us
@@ -329,6 +351,14 @@ func (s *Swarm) stepChurn() {
 // Step advances one event.
 func (s *Swarm) Step() error { return s.k.Step() }
 
+// SetTap attaches (nil detaches) a post-event observer tap — typically an
+// obs.Set pipeline — to the swarm's kernel.
+func (s *Swarm) SetTap(t kernel.Tap) { s.k.SetTap(t) }
+
+// Halted reports whether an attached stop-watcher is requesting a halt
+// (RunUntil returns cleanly in that case; this disambiguates).
+func (s *Swarm) Halted() bool { return s.k.TapHalted() }
+
 // deliver uploads one policy-chosen piece to peer `target`; uploader is the
 // index of the uploading peer or -1 for the fixed seed.
 func (s *Swarm) deliver(target, uploader int, useful pieceset.Set) {
@@ -354,13 +384,18 @@ func (s *Swarm) deliver(target, uploader int, useful pieceset.Set) {
 	s.seedIdx = append(s.seedIdx, target)
 }
 
-// RunUntil advances until the time or population limit fires.
+// RunUntil advances until the time or population limit fires. An attached
+// stop-watcher ends the run cleanly (nil error); inspect the watch for the
+// hitting time.
 func (s *Swarm) RunUntil(maxTime float64, maxPeers int) error {
 	for s.Now() < maxTime {
 		if maxPeers > 0 && len(s.peers) >= maxPeers {
 			return nil
 		}
 		if err := s.Step(); err != nil {
+			if errors.Is(err, kernel.ErrHalted) {
+				return nil
+			}
 			return err
 		}
 	}

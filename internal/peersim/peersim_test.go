@@ -22,6 +22,36 @@ func TestNewValidation(t *testing.T) {
 	}
 }
 
+// TestSojournTrackerLittle: the swarm's obs-backed sojourn tracker is
+// internally consistent (SojournTimes is its Durations view) and its
+// Little's-law residual shrinks to a few percent over a long stable run.
+func TestSojournTrackerLittle(t *testing.T) {
+	s, err := New(k1Params(1, 1, 1, 2), WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntil(4000, 0); err != nil {
+		t.Fatal(err)
+	}
+	soj := s.Sojourn()
+	if s.SojournTimes() != soj.Durations() {
+		t.Error("SojournTimes is not the tracker's Durations view")
+	}
+	if soj.Durations().N() != s.Departed() {
+		t.Errorf("tracked departures %d != swarm departed %d", soj.Durations().N(), s.Departed())
+	}
+	if soj.Open() != s.N() {
+		t.Errorf("tracker open %d != population %d", soj.Open(), s.N())
+	}
+	l, lam, w := soj.L(), soj.Lambda(), soj.Durations().Mean()
+	if math.Abs(soj.LittleGap()) > 0.1*l {
+		t.Errorf("Little residual too large: L=%v λ=%v W=%v gap=%v", l, lam, w, soj.LittleGap())
+	}
+	if soj.Median() <= 0 || soj.P90() < soj.Median() {
+		t.Errorf("sojourn quantiles inconsistent: p50=%v p90=%v", soj.Median(), soj.P90())
+	}
+}
+
 func TestDeterministicReplay(t *testing.T) {
 	p := k1Params(1, 1, 1, 2)
 	a, _ := New(p, WithSeed(4))

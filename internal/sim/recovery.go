@@ -35,6 +35,7 @@ type RecoverySwarm struct {
 
 	arrivalTypes   []pieceset.Set
 	arrivalWeights []float64
+	lambdaTotal    float64 // Σ λ_C in sorted type order, cached off the event path
 
 	stats Stats
 }
@@ -81,6 +82,7 @@ func NewRecovery(p model.Params, eta float64, opts ...Option) (*RecoverySwarm, e
 	for _, c := range p.ArrivalTypes() {
 		s.arrivalTypes = append(s.arrivalTypes, c)
 		s.arrivalWeights = append(s.arrivalWeights, p.Lambda[c])
+		s.lambdaTotal += p.Lambda[c]
 	}
 	for c, count := range cfg.initial {
 		if count < 0 || !c.SubsetOf(s.full) {
@@ -197,7 +199,7 @@ func (s *RecoverySwarm) Population() float64 { return float64(s.peers.Total()) }
 // Rates implements kernel.Process.
 func (s *RecoverySwarm) Rates(buf []float64) []float64 {
 	n := s.peers.Total()
-	arrival := s.params.LambdaTotal() * s.scenario.ArrivalBound()
+	arrival := s.lambdaTotal * s.scenario.ArrivalBound()
 	seed := 0.0
 	if n > 0 {
 		seed = s.params.Us
@@ -243,6 +245,10 @@ func (s *RecoverySwarm) Fire(class int) error {
 
 // Step advances one event.
 func (s *RecoverySwarm) Step() error { return s.k.Step() }
+
+// SetTap attaches (nil detaches) a post-event observer tap — typically an
+// obs.Set pipeline — to the swarm's kernel.
+func (s *RecoverySwarm) SetTap(t kernel.Tap) { s.k.SetTap(t) }
 
 func (s *RecoverySwarm) stepArrival() {
 	if !s.scenario.AcceptArrival(s.r, s.k.Now()) {
@@ -345,13 +351,17 @@ func (s *RecoverySwarm) upload(target speedType, useful pieceset.Set) {
 	s.stats.Uploads++
 }
 
-// RunUntil advances until time or population limits are hit.
+// RunUntil advances until time or population limits are hit; an attached
+// stop-watcher ends the run cleanly with StopObserver.
 func (s *RecoverySwarm) RunUntil(maxTime float64, maxPeers int) (StopReason, error) {
 	for s.Now() < maxTime {
 		if maxPeers > 0 && s.N() >= maxPeers {
 			return StopPeers, nil
 		}
 		if err := s.Step(); err != nil {
+			if errors.Is(err, kernel.ErrHalted) {
+				return StopObserver, nil
+			}
 			return 0, err
 		}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pieceset"
 	"repro/internal/rng"
 )
@@ -23,8 +24,9 @@ type StopReason int
 
 // Stop reasons.
 const (
-	StopTime  StopReason = iota + 1 // simulated time reached the limit
-	StopPeers                       // population reached the limit
+	StopTime     StopReason = iota + 1 // simulated time reached the limit
+	StopPeers                          // population reached the limit
+	StopObserver                       // an attached hitting-time watcher halted the run
 )
 
 // String names the stop reason.
@@ -34,6 +36,8 @@ func (s StopReason) String() string {
 		return "time-limit"
 	case StopPeers:
 		return "peer-limit"
+	case StopObserver:
+		return "observer-halt"
 	default:
 		return fmt.Sprintf("stop(%d)", int(s))
 	}
@@ -132,6 +136,7 @@ type Swarm struct {
 
 	arrivalTypes   []pieceset.Set
 	arrivalWeights []float64
+	lambdaTotal    float64 // Σ λ_C in sorted type order, cached off the event path
 
 	stats Stats
 }
@@ -159,6 +164,7 @@ func New(p model.Params, opts ...Option) (*Swarm, error) {
 	for _, c := range p.ArrivalTypes() {
 		s.arrivalTypes = append(s.arrivalTypes, c)
 		s.arrivalWeights = append(s.arrivalWeights, p.Lambda[c])
+		s.lambdaTotal += p.Lambda[c]
 	}
 	for c, count := range cfg.initial {
 		if count < 0 || !c.SubsetOf(s.full) {
@@ -285,7 +291,7 @@ func (s *Swarm) Population() float64 { return float64(s.peers.Total()) }
 // profile is set; Fire rejects the excess.
 func (s *Swarm) Rates(buf []float64) []float64 {
 	n := s.peers.Total()
-	arrival := s.params.LambdaTotal() * s.scenario.ArrivalBound()
+	arrival := s.lambdaTotal * s.scenario.ArrivalBound()
 	seed := 0.0
 	if n > 0 {
 		seed = s.params.Us
@@ -324,6 +330,11 @@ func (s *Swarm) Fire(class int) error {
 // Step advances the chain by exactly one event (which may be a no-op
 // contact). Time always advances.
 func (s *Swarm) Step() error { return s.k.Step() }
+
+// SetTap attaches (nil detaches) a post-event observer tap — typically an
+// obs.Set pipeline — to the swarm's kernel. Taps consume no randomness, so
+// attaching one never changes the realization a seed produces.
+func (s *Swarm) SetTap(t kernel.Tap) { s.k.SetTap(t) }
 
 // stepArrival admits one new peer with type drawn from the λ weights,
 // after the scenario's thinning draw for time-varying profiles.
@@ -405,13 +416,17 @@ func (s *Swarm) stepChurn() {
 
 // RunUntil advances the swarm until simulated time reaches maxTime or the
 // population reaches maxPeers (whichever first) and reports which limit
-// fired. maxPeers <= 0 disables the population limit.
+// fired. maxPeers <= 0 disables the population limit. An attached
+// stop-watcher ends the run cleanly with StopObserver.
 func (s *Swarm) RunUntil(maxTime float64, maxPeers int) (StopReason, error) {
 	for s.Now() < maxTime {
 		if maxPeers > 0 && s.N() >= maxPeers {
 			return StopPeers, nil
 		}
 		if err := s.Step(); err != nil {
+			if errors.Is(err, kernel.ErrHalted) {
+				return StopObserver, nil
+			}
 			return 0, err
 		}
 	}
@@ -427,38 +442,66 @@ type TracePoint struct {
 	Missing int // peers missing the traced piece
 }
 
+// TraceSeries builds the standard trajectory observers for this swarm —
+// population, peer seeds, the one-club of the given piece, and the count
+// missing it — on a shared bounded time ladder over [start, end] with
+// spacing dt. The bound keeps the final event's overshoot past the horizon
+// from extending the trace or halving its resolution. Callers compose the
+// series into an obs.Set (cmd/p2psim routes them through the engine's
+// per-replica observer hook).
+func (s *Swarm) TraceSeries(start, end, dt float64, piece int) []*obs.Series {
+	capacity := int((end-start)/dt) + 2
+	if capacity < 4 {
+		capacity = 4
+	}
+	mk := func(name string, probe obs.Probe) *obs.Series {
+		return obs.NewBoundedSeries(name, start, dt, capacity, end, probe)
+	}
+	return []*obs.Series{
+		mk("n", func() float64 { return float64(s.N()) }),
+		mk("seeds", func() float64 { return float64(s.PeerSeeds()) }),
+		mk("one_club", func() float64 { return float64(s.OneClub(piece)) }),
+		mk("missing", func() float64 { return float64(s.Missing(piece)) }),
+	}
+}
+
 // Trace runs until maxTime, sampling the population every interval time
-// units, tracking the one-club of the given piece. It stops early (without
-// error) if the population reaches maxPeers > 0.
+// units through the observation pipeline, tracking the one-club of the
+// given piece. It stops early (without error) if the population reaches
+// maxPeers > 0. Each point records the state AT its ladder time (the value
+// set by the last event before it), the decimator's determinism invariant;
+// a temporary pipeline is composed around any already-attached tap, which
+// is restored on return.
 func (s *Swarm) Trace(maxTime, interval float64, piece, maxPeers int) ([]TracePoint, error) {
 	if interval <= 0 {
 		return nil, errors.New("sim: trace interval must be positive")
 	}
-	var out []TracePoint
-	next := s.Now()
-	for s.Now() < maxTime {
-		for s.Now() >= next {
-			out = append(out, s.sample(next, piece))
-			next += interval
-		}
-		if maxPeers > 0 && s.N() >= maxPeers {
-			break
-		}
-		if err := s.Step(); err != nil {
-			return out, err
-		}
+	start := s.Now()
+	series := s.TraceSeries(start, maxTime, interval, piece)
+	set := obs.NewSet()
+	for _, sr := range series {
+		set.Add(sr)
 	}
-	return out, nil
-}
+	prev := s.k.Tap()
+	set.Add(prev)
+	s.k.SetTap(set)
+	defer s.k.SetTap(prev)
 
-func (s *Swarm) sample(t float64, piece int) TracePoint {
-	return TracePoint{
-		T:       t,
-		N:       s.N(),
-		Seeds:   s.PeerSeeds(),
-		OneClub: s.OneClub(piece),
-		Missing: s.Missing(piece),
+	_, err := s.RunUntil(maxTime, maxPeers)
+	// The bounded ladder clamps to maxTime itself; an early peer-cap stop
+	// seals at the stop time.
+	set.Seal(s.Now())
+	pts := make([]TracePoint, len(series[0].Points()))
+	for i := range pts {
+		pts[i] = TracePoint{
+			T:       series[0].Points()[i].T,
+			N:       int(series[0].Points()[i].V),
+			Seeds:   int(series[1].Points()[i].V),
+			OneClub: int(series[2].Points()[i].V),
+			Missing: int(series[3].Points()[i].V),
+		}
 	}
+	return pts, err
 }
 
 // Rates reports the current aggregate event rates of the exponential
@@ -477,7 +520,7 @@ type Rates struct {
 // current instant, not the thinning bound the race runs at).
 func (s *Swarm) CurrentRates() Rates {
 	n := s.peers.Total()
-	r := Rates{Arrival: s.params.LambdaTotal() * s.scenario.ArrivalAt(s.k.Now())}
+	r := Rates{Arrival: s.lambdaTotal * s.scenario.ArrivalAt(s.k.Now())}
 	if n > 0 {
 		r.Seed = s.params.Us
 	}

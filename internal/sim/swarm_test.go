@@ -5,7 +5,9 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/kernel"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pieceset"
 )
 
@@ -272,6 +274,52 @@ func TestTrace(t *testing.T) {
 		if pts[i].N < 0 || pts[i].Missing > pts[i].N {
 			t.Fatalf("inconsistent trace point %+v", pts[i])
 		}
+	}
+}
+
+// TestObserverStopsRunUntil: a stopping population watch attached through
+// SetTap ends RunUntil with StopObserver at the hitting event.
+func TestObserverStopsRunUntil(t *testing.T) {
+	s, err := New(ex1Params(8, 1, 1, 2), WithSeed(3)) // transient: N grows
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := obs.NewPopulationWatch("n50", 50, true)
+	s.SetTap(obs.NewSet(w))
+	reason, err := s.RunUntil(1e9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason != StopObserver {
+		t.Fatalf("reason = %v, want StopObserver", reason)
+	}
+	if !w.Hit() || s.N() < 50 {
+		t.Errorf("hit=%v N=%d at t=%v", w.Hit(), s.N(), w.Time())
+	}
+	if reason.String() != "observer-halt" {
+		t.Errorf("StopObserver.String() = %q", reason.String())
+	}
+}
+
+// TestTraceComposesWithAttachedTap: Trace must deliver events to a
+// previously attached pipeline while tracing, and restore it afterward.
+func TestTraceComposesWithAttachedTap(t *testing.T) {
+	s, err := New(ex1Params(3, 1, 1, 2), WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := obs.NewPopulationWatch("n1", 1, false)
+	prev := obs.NewSet(w)
+	s.SetTap(prev)
+	if _, err := s.Trace(20, 1, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Hit() {
+		t.Error("attached watch missed events during Trace")
+	}
+	// The original tap is restored: further events still reach it.
+	if s.k.Tap() != kernel.Tap(prev) {
+		t.Error("Trace did not restore the attached tap")
 	}
 }
 

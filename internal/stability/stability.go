@@ -122,10 +122,12 @@ func ThresholdFor(p model.Params, k int) float64 {
 	if ratio >= 1 {
 		return math.Inf(1)
 	}
+	// Ascending type order: the float fold must not depend on map
+	// iteration order (see model.Params.LambdaTotal).
 	sum := p.Us
-	for c, l := range p.Lambda {
-		if l > 0 && c.Has(k) {
-			sum += l * float64(p.K+1-c.Size())
+	for _, c := range p.ArrivalTypes() {
+		if c.Has(k) {
+			sum += p.Lambda[c] * float64(p.K+1-c.Size())
 		}
 	}
 	return sum / (1 - ratio)
@@ -155,10 +157,8 @@ func DeltaS(p model.Params, s pieceset.Set) (float64, error) {
 		return 0, errors.New("stability: ∆_S requires µ < γ")
 	}
 	var inside, outside float64
-	for c, l := range p.Lambda {
-		if l <= 0 {
-			continue
-		}
+	for _, c := range p.ArrivalTypes() {
+		l := p.Lambda[c]
 		if c.SubsetOf(s) {
 			inside += l
 		} else {
