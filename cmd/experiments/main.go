@@ -11,6 +11,8 @@
 //	experiments -parallel 1      # serial replicas (same tables, slower)
 //	experiments -jsonl out.jsonl # structured per-replica records
 //	experiments -id E15 -flash-peak 10 -churn 1  # scenario-layer knobs
+//	experiments -v -metrics-addr :9090 -report run.json  # heartbeat, live
+//	           # /metrics + pprof, end-of-run telemetry report
 package main
 
 import (
@@ -20,10 +22,10 @@ import (
 	"io"
 	"os"
 	"os/signal"
-	"runtime"
 	"strings"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/engine"
 	"repro/internal/exp"
 )
@@ -43,11 +45,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		quick    = fs.Bool("quick", false, "reduced horizons and replica counts")
 		ids      = fs.String("id", "", "comma-separated experiment ids (default: all)")
 		seed     = fs.Uint64("seed", 1, "base RNG seed")
-		parallel  = fs.Int("parallel", runtime.NumCPU(), "engine worker pool size (1 = serial)")
+		parallel  = fs.Int("parallel", engine.DefaultWorkers(), "engine worker pool size (1 = serial)")
 		jsonl     = fs.String("jsonl", "", "write per-replica engine records to this JSONL file")
 		flashPeak = fs.Float64("flash-peak", 0, "E15: flash-crowd peak arrival multiplier (0 = default)")
 		churn     = fs.Float64("churn", 0, "E15: per-downloader abandonment rate δ (0 = default)")
+		verbose   = fs.Bool("v", false, "print a throttled replica-progress heartbeat to stderr")
+		tel       cli.Telemetry
 	)
+	tel.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,9 +62,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *flashPeak < 0 || *churn < 0 {
 		return fmt.Errorf("-flash-peak and -churn must be >= 0, got %v and %v", *flashPeak, *churn)
 	}
+	if err := tel.Start("experiments", os.Stderr); err != nil {
+		return err
+	}
+	defer tel.Close()
 	cfg := exp.Config{
 		Quick: *quick, Seed: *seed, Workers: *parallel, Context: ctx,
 		FlashPeak: *flashPeak, Churn: *churn,
+	}
+	if *verbose {
+		cfg.Progress = cli.NewHeartbeat(os.Stderr, "experiments", "replicas").Observe
 	}
 
 	var selected []exp.Experiment
@@ -97,5 +109,5 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fmt.Fprint(out, table.Render())
 		fmt.Fprintf(out, "elapsed: %s\n\n", time.Since(start).Round(time.Millisecond))
 	}
-	return nil
+	return tel.Finish()
 }

@@ -11,6 +11,8 @@
 //
 //	p2psim -k 3 -us 1 -mu 1 -gamma 2 -lambda0 2 -horizon 500 -policy rarest-first
 //	p2psim -k 2 -lambda0 3 -replicas 8 -parallel 4 -quantiles -jsonl records.jsonl
+//	p2psim -replicas 64 -v -metrics-addr :9090 -report run.json  # heartbeat,
+//	       # live /metrics + pprof while running, end-of-run telemetry report
 package main
 
 import (
@@ -20,7 +22,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 	"strconv"
 
 	"repro/internal/cli"
@@ -63,14 +64,17 @@ func run(args []string, out io.Writer) error {
 		polName   = fs.String("policy", "random-useful", "piece selection policy")
 		samples   = fs.Int("samples", 20, "number of decimated trace points")
 		replicas  = fs.Int("replicas", 1, "number of independent replicas")
-		parallel  = fs.Int("parallel", runtime.NumCPU(), "engine worker pool size (1 = serial; output is identical either way)")
+		parallel  = fs.Int("parallel", engine.DefaultWorkers(), "engine worker pool size (1 = serial; output is identical either way)")
 		trace     = fs.Bool("trace", true, "attach trajectory observers and print the decimated trace")
 		quantiles = fs.Bool("quantiles", false, "stream P² population quantiles and print them")
 		jsonl     = fs.String("jsonl", "", "write per-replica structured records (series, marks, scalars) to this JSONL file")
 		csvOut    = fs.Bool("csv", false, "emit the trace as CSV instead of a table")
+		verbose   = fs.Bool("v", false, "print a throttled replica-progress heartbeat to stderr")
 		arrivals  cli.ArrivalFlags
+		tel       cli.Telemetry
 	)
 	fs.Var(&arrivals, "arrive", "arrival spec PIECES=RATE (repeatable)")
+	tel.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -96,6 +100,10 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if err := tel.Start("p2psim", os.Stderr); err != nil {
+		return err
+	}
+	defer tel.Close()
 	needTrace := *trace || *csvOut
 
 	backend := &engine.SwarmBackend{
@@ -144,6 +152,9 @@ func run(args []string, out io.Writer) error {
 		Seed:     *seed,
 		Workers:  *parallel,
 	}
+	if *verbose {
+		job.Progress = cli.NewHeartbeat(os.Stderr, "p2psim", "replicas").Observe
+	}
 	var sinkFile *os.File
 	if *jsonl != "" {
 		f, err := os.Create(*jsonl)
@@ -166,7 +177,10 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *csvOut {
-		return writeCSV(out, res.Records[0])
+		if err := writeCSV(out, res.Records[0]); err != nil {
+			return err
+		}
+		return tel.Finish()
 	}
 	fmt.Fprintf(out, "parameters : %s\n", p)
 	fmt.Fprintf(out, "theorem 1  : %s\n", sys.Verdict())
@@ -182,7 +196,7 @@ func run(args []string, out io.Writer) error {
 	if *quantiles {
 		writeQuantiles(out, res)
 	}
-	return nil
+	return tel.Finish()
 }
 
 // traceColumns zips a record's trajectory series into rows, relying on the

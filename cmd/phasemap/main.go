@@ -15,6 +15,8 @@
 //	    -eval sim -lambda0 3                  # scenario diagram (needs -eval sim)
 //	phasemap -format csv -o map.csv           # machine-readable raster
 //	phasemap -cache cells.jsonl -v            # spill cells, live progress
+//	phasemap -eval sim -metrics-addr :9090 -report run.json  # live /metrics
+//	         # (cache hit rate, events/sec) + end-of-run telemetry report
 package main
 
 import (
@@ -24,11 +26,11 @@ import (
 	"io"
 	"os"
 	"os/signal"
-	"runtime"
 	"strconv"
 	"strings"
 
 	"repro/internal/cli"
+	"repro/internal/engine"
 	"repro/internal/kernel"
 	"repro/internal/sweep"
 )
@@ -86,19 +88,25 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		churn     = fs.Float64("churn", 0, "base scenario: per-downloader abandonment rate δ")
 
 		seed     = fs.Uint64("seed", 1, "base RNG seed (sim evaluator)")
-		parallel = fs.Int("parallel", runtime.NumCPU(), "engine worker pool size (1 = serial)")
+		parallel = fs.Int("parallel", engine.DefaultWorkers(), "engine worker pool size (1 = serial)")
 		format   = fs.String("format", "ascii", `output format: "ascii", "csv", or "jsonl"`)
 		outFile  = fs.String("o", "", "write the map to this file instead of stdout")
 		cacheF   = fs.String("cache", "", "JSONL cell cache: resume from it and spill new cells to it")
-		verbose  = fs.Bool("v", false, "report per-round refined-cell progress on stderr")
+		verbose  = fs.Bool("v", false, "report per-round refined-cell progress on stderr (throttled heartbeat)")
+		tel      cli.Telemetry
 	)
 	fs.Var(arrive, "arrive", "arrival spec PIECES=RATE (repeatable), e.g. -arrive 1,2=0.5")
+	tel.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *parallel < 1 {
 		return fmt.Errorf("-parallel must be >= 1, got %d", *parallel)
 	}
+	if err := tel.Start("phasemap", errw); err != nil {
+		return err
+	}
+	defer tel.Close()
 
 	gamma, err := cli.ParseGamma(*gammaS)
 	if err != nil {
@@ -182,9 +190,7 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		}
 	}
 	if *verbose {
-		runner.Progress = func(name string, done, total int) {
-			fmt.Fprintf(errw, "phasemap: %s: %d/%d cells\n", name, done, total)
-		}
+		runner.Progress = cli.NewHeartbeat(errw, "phasemap", "cells").Step
 	}
 
 	var m *sweep.Map
@@ -231,7 +237,7 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 			return err
 		}
 	}
-	return nil
+	return tel.Finish()
 }
 
 // openCache opens (or creates) the spill file, replays any entries already

@@ -38,11 +38,17 @@ func run(args []string, out io.Writer) error {
 		lambda0  = fs.Float64("lambda0", 1, "empty-type arrival rate (used when no -arrive flags)")
 		critical = fs.Bool("critical", false, "also locate the stability boundary (critical arrival scale and critical γ)")
 		arrivals cli.ArrivalFlags
+		tel      cli.Telemetry
 	)
 	fs.Var(&arrivals, "arrive", "arrival spec PIECES=RATE (repeatable), e.g. 1,2=0.5 or empty=1")
+	tel.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := tel.Start("stabilitycheck", os.Stderr); err != nil {
+		return err
+	}
+	defer tel.Close()
 	gamma, err := cli.ParseGamma(*gammaStr)
 	if err != nil {
 		return err
@@ -67,7 +73,7 @@ func run(args []string, out io.Writer) error {
 		if a.BlockedPiece != 0 {
 			fmt.Fprintf(out, "blocked   : piece %d can never enter the system\n", a.BlockedPiece)
 		}
-		return nil
+		return tel.Finish()
 	}
 	fmt.Fprintf(out, "branch    : µ < γ (missing-piece thresholds, eq. (3))\n")
 	for piece := 1; piece <= p.K; piece++ {
@@ -85,7 +91,7 @@ func run(args []string, out io.Writer) error {
 				a.CriticalPiece, g)
 		}
 	}
-	return nil
+	return tel.Finish()
 }
 
 // printCritical reports the boundary location along two rays: scaling all

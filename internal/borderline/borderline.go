@@ -197,6 +197,7 @@ func (c *Chain) Step() {
 // RunTransitions advances a fixed number of embedded transitions, stopping
 // early when an attached watcher halts the chain.
 func (c *Chain) RunTransitions(steps int) {
+	defer c.kern.FlushMetrics() // exact kernel_events_total at run end
 	for i := 0; i < steps && !c.halted; i++ {
 		c.Step()
 	}

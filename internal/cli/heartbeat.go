@@ -1,0 +1,119 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Heartbeat is the shared progress printer for the cmd binaries: one
+// throttled stderr line per interval with completion count, rate, and ETA.
+// It replaces the per-binary hand-rolled Progress printers; every binary
+// gets the same format and the same throttling, and the observations
+// mirror into the telemetry registry (progress_done / progress_total
+// gauges) when one is installed, so /vars shows live completion during a
+// run.
+//
+// Heartbeat writes only to its (stderr) writer — never stdout — so
+// enabling it cannot perturb the byte-identical output contract the CI
+// determinism diffs enforce. Observe matches engine.Progress; Step matches
+// sweep.Runner.Progress (batched work with changing totals). Both are safe
+// for concurrent use: engine progress callbacks are serialized, but sweep
+// rounds and nested jobs may interleave.
+type Heartbeat struct {
+	w     io.Writer
+	label string
+	unit  string
+	// Every is the minimum interval between printed lines. The final
+	// observation of a batch (done == total) always prints.
+	Every time.Duration
+	// now is the clock (tests inject a fake).
+	now func() time.Time
+
+	mu        sync.Mutex
+	batch     string
+	batchT    time.Time
+	batchBase int
+	lastPrint time.Time
+	lastDone  int
+}
+
+// NewHeartbeat builds a heartbeat labeled label printing counts of unit
+// (e.g. "replicas", "cells") to w at most every 500ms.
+func NewHeartbeat(w io.Writer, label, unit string) *Heartbeat {
+	return &Heartbeat{w: w, label: label, unit: unit, Every: 500 * time.Millisecond, now: time.Now}
+}
+
+// Observe reports overall progress — the engine.Progress signature.
+func (h *Heartbeat) Observe(done, total int) { h.Step("", done, total) }
+
+// Step reports progress of one named batch — the sweep.Runner.Progress
+// signature. A batch change (new name, or a completion count that moved
+// backwards) restarts the rate estimate, so each refinement round reports
+// its own throughput instead of a stale cross-batch average.
+func (h *Heartbeat) Step(name string, done, total int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := h.now()
+	if h.batchT.IsZero() || name != h.batch || done < h.lastDone {
+		h.batch = name
+		h.batchT = now
+		h.batchBase = done - 1 // the observed completion itself took time
+		if h.batchBase < 0 {
+			h.batchBase = 0
+		}
+		h.lastPrint = time.Time{}
+	}
+	h.lastDone = done
+
+	if reg := telemetry.Default(); reg != nil {
+		reg.Gauge(telemetry.ProgressDone).Set(int64(done))
+		reg.Gauge(telemetry.ProgressTotal).Set(int64(total))
+	}
+
+	final := done >= total
+	if !final && !h.lastPrint.IsZero() && now.Sub(h.lastPrint) < h.Every {
+		return
+	}
+	h.lastPrint = now
+
+	label := h.label
+	if name != "" {
+		label = h.label + " " + name
+	}
+	line := fmt.Sprintf("%s: %d/%d %s (%.0f%%)", label, done, total, h.unit,
+		100*float64(done)/float64(max(total, 1)))
+	if elapsed := now.Sub(h.batchT).Seconds(); elapsed > 0 && done > h.batchBase {
+		rate := float64(done-h.batchBase) / elapsed
+		line += fmt.Sprintf(" %.3g/s", rate)
+		if !final && rate > 0 {
+			line += fmt.Sprintf(" eta %s", etaString(float64(total-done)/rate))
+		}
+	}
+	fmt.Fprintln(h.w, line)
+}
+
+// etaString renders a remaining-seconds estimate compactly.
+func etaString(s float64) string {
+	d := time.Duration(s * float64(time.Second))
+	switch {
+	case d < time.Second:
+		return "<1s"
+	case d < time.Minute:
+		return d.Round(time.Second).String()
+	case d < time.Hour:
+		return d.Round(10 * time.Second).String()
+	default:
+		return d.Round(time.Minute).String()
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,97 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/telemetry"
+)
+
+// Telemetry bundles the runtime-telemetry flags every cmd binary shares:
+//
+//	-metrics-addr HOST:PORT  serve /metrics, /vars, /healthz, /debug/pprof
+//	-report FILE             write the end-of-run report JSON
+//
+// Setting either flag installs a process-wide telemetry registry
+// (telemetry.SetDefault) before the run starts, so the kernel, engine,
+// sweep, and obs layers bind their counters; with both flags empty no
+// registry exists and every instrumentation site stays a nil-check no-op.
+// Telemetry writes only to its HTTP server, the report file, and stderr —
+// never stdout — preserving the byte-identical output contract.
+type Telemetry struct {
+	// Addr is the -metrics-addr value ("" = no HTTP server; port 0 picks
+	// a free port and prints it to stderr).
+	Addr string
+	// ReportPath is the -report value ("" = no report file).
+	ReportPath string
+
+	label string
+	reg   *telemetry.Registry
+	srv   *telemetry.Server
+}
+
+// RegisterFlags installs the shared flags on fs.
+func (t *Telemetry) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&t.Addr, "metrics-addr", "",
+		"serve /metrics, /vars, /healthz and /debug/pprof on this host:port (empty = off)")
+	fs.StringVar(&t.ReportPath, "report", "",
+		"write an end-of-run telemetry report (events/sec, cache stats, MemStats) to this JSON file")
+}
+
+// Start installs the registry and, when requested, the HTTP server. Call
+// once after flag parsing and before any simulation work; a no-op (and no
+// registry) when both flags are empty. The bound address is announced on
+// errw so -metrics-addr :0 is usable interactively.
+func (t *Telemetry) Start(label string, errw io.Writer) error {
+	t.label = label
+	if t.Addr == "" && t.ReportPath == "" {
+		return nil
+	}
+	t.reg = telemetry.New()
+	// Pre-register the core series so a scrape arriving before the first
+	// kernel or engine job still sees them (at zero) — the CI smoke test
+	// greps /metrics during startup.
+	for _, name := range []string{
+		telemetry.KernelEvents, telemetry.KernelHalts, telemetry.KernelNoProgress,
+		telemetry.EngineJobs, telemetry.EngineReplicasStarted,
+		telemetry.EngineReplicasCompleted, telemetry.EngineReplicasFailed,
+	} {
+		t.reg.Counter(name)
+	}
+	telemetry.SetDefault(t.reg)
+	if t.Addr != "" {
+		srv, err := telemetry.Serve(t.Addr, t.reg)
+		if err != nil {
+			telemetry.SetDefault(nil)
+			t.reg = nil
+			return err
+		}
+		t.srv = srv
+		fmt.Fprintf(errw, "%s: telemetry listening on http://%s/metrics\n", label, srv.Addr())
+	}
+	return nil
+}
+
+// Finish writes the run report (when -report was given) and shuts the
+// server down. Call on the success path; Close alone suffices on error
+// paths. Safe to call when Start was a no-op.
+func (t *Telemetry) Finish() error {
+	if t.reg != nil && t.ReportPath != "" {
+		if err := t.reg.WriteReportFile(t.ReportPath, t.label); err != nil {
+			return err
+		}
+	}
+	return t.Close()
+}
+
+// Close stops the HTTP server and uninstalls the registry. Idempotent.
+func (t *Telemetry) Close() error {
+	err := t.srv.Close()
+	t.srv = nil
+	if t.reg != nil {
+		telemetry.SetDefault(nil)
+		t.reg = nil
+	}
+	return err
+}

@@ -421,6 +421,7 @@ func (s *Swarm) stepDeparture() {
 // stop-watcher ends the run cleanly (nil error); inspect the watch for the
 // hitting time.
 func (s *Swarm) RunUntil(maxTime float64, maxPeers int) error {
+	defer s.k.FlushMetrics() // exact kernel_events_total at run end
 	for s.Now() < maxTime {
 		if maxPeers > 0 && s.counts.Total() >= maxPeers {
 			return nil

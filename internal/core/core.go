@@ -128,6 +128,10 @@ type RunConfig struct {
 	// Sink, when non-nil, receives structured per-replica records and the
 	// aggregate from the underlying engine job.
 	Sink engine.Sink
+	// Progress, when non-nil, is forwarded to the engine job: called after
+	// each replica completes with the number done and the total. Calls
+	// follow scheduling; classification outcomes are unchanged.
+	Progress func(done, total int)
 	// Context cancels the run mid-flight (nil = background).
 	Context context.Context
 }
@@ -248,6 +252,7 @@ func (s *System) ClassifyEmpirically(cfg RunConfig) (Empirical, error) {
 		Seed:     cfg.Seed,
 		Workers:  cfg.Workers,
 		Sink:     cfg.Sink,
+		Progress: cfg.Progress,
 	})
 	if err != nil {
 		return Empirical{}, err

@@ -1,0 +1,69 @@
+package engine
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// poolMetrics holds one job's telemetry handles: replica lifecycle
+// counters, the per-replica busy-time and queue-wait histograms, and
+// per-worker busy/idle counters (labeled series). A nil *poolMetrics —
+// telemetry disabled — short-circuits every instrumentation site in
+// pool.go to a single predictable branch, and no time.Now() calls are
+// made, so the disabled pool is byte-for-byte the old one.
+//
+// All timing is at replica granularity (two clock reads per replica), off
+// the kernel's per-event hot path. Counts are deterministic — started,
+// completed, and the busy histogram's Count equal the replica count at any
+// worker-pool size (TestPoolMetricsDeterministicCounts) — while the timing
+// values themselves are wall-clock and scheduling dependent, which is why
+// sinks and aggregates never read them.
+type poolMetrics struct {
+	reg       *telemetry.Registry
+	started   *telemetry.Counter
+	completed *telemetry.Counter
+	failed    *telemetry.Counter
+	busy      *telemetry.Histogram
+	wait      *telemetry.Histogram
+}
+
+// newPoolMetrics binds the job-level handles, or nil when telemetry is
+// disabled.
+func newPoolMetrics() *poolMetrics {
+	reg := telemetry.Default()
+	if reg == nil {
+		return nil
+	}
+	reg.Counter(telemetry.EngineJobs).Inc()
+	return &poolMetrics{
+		reg:       reg,
+		started:   reg.Counter(telemetry.EngineReplicasStarted),
+		completed: reg.Counter(telemetry.EngineReplicasCompleted),
+		failed:    reg.Counter(telemetry.EngineReplicasFailed),
+		busy:      reg.Histogram(telemetry.EngineReplicaBusyNS),
+		wait:      reg.Histogram(telemetry.EngineQueueWaitNS),
+	}
+}
+
+// workerCounts returns worker w's busy/idle counter handles as labeled
+// series (engine_worker_busy_ns_total{worker="w"}). Bound once per worker
+// per job.
+func (m *poolMetrics) workerCounts(w int) (busy, idle telemetry.Count) {
+	id := strconv.Itoa(w)
+	return m.reg.Counter(telemetry.Labeled(telemetry.EngineWorkerBusyNS, "worker", id)).Grab(),
+		m.reg.Counter(telemetry.Labeled(telemetry.EngineWorkerIdleNS, "worker", id)).Grab()
+}
+
+// replicaDone records one finished replica: its busy duration, its queue
+// wait (zero on the serial path), and the lifecycle outcome.
+func (m *poolMetrics) replicaDone(busy, wait time.Duration, err error) {
+	m.busy.ObserveDuration(busy)
+	m.wait.ObserveDuration(wait)
+	if err != nil {
+		m.failed.Inc()
+	} else {
+		m.completed.Inc()
+	}
+}

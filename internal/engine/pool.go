@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 )
 
 // runPool fans the replicas across the job's worker pool and returns the
@@ -15,6 +17,12 @@ import (
 // the cancellations it spread; with several independently failing replicas
 // the one reported may vary with scheduling (successful runs stay
 // bit-for-bit deterministic — only the error path is schedule-dependent).
+//
+// When telemetry is enabled the pool records replica lifecycle counts, a
+// per-replica busy-time histogram, queue-wait times, and per-worker
+// busy/idle counters. Instrumentation reads the clock twice per replica
+// and never touches records, streams, or sinks, so it cannot perturb the
+// deterministic outputs.
 func runPool(ctx context.Context, job Job, streams []*rng.RNG) ([]Record, error) {
 	n := len(streams)
 	workers := job.Workers
@@ -27,6 +35,7 @@ func runPool(ctx context.Context, job Job, streams []*rng.RNG) ([]Record, error)
 
 	records := make([]Record, n)
 	errs := make([]error, n)
+	met := newPoolMetrics()
 
 	runOne := func(ctx context.Context, i int) {
 		if err := ctx.Err(); err != nil {
@@ -44,8 +53,21 @@ func runPool(ctx context.Context, job Job, streams []*rng.RNG) ([]Record, error)
 	if workers == 1 {
 		// Serial fast path: no goroutines, no channels, same code path for
 		// each replica so results match the parallel schedule exactly.
+		var busy telemetry.Count
+		if met != nil {
+			busy, _ = met.workerCounts(0) // the serial worker never idles
+		}
 		for i := range streams {
-			runOne(ctx, i)
+			if met == nil {
+				runOne(ctx, i)
+			} else {
+				met.started.Inc()
+				t0 := time.Now()
+				runOne(ctx, i)
+				d := time.Since(t0)
+				busy.Add(uint64(d.Nanoseconds()))
+				met.replicaDone(d, 0, errs[i])
+			}
 			if errs[i] != nil {
 				return nil, firstError(ctx, errs)
 			}
@@ -64,13 +86,41 @@ func runPool(ctx context.Context, job Job, streams []*rng.RNG) ([]Record, error)
 		progress sync.Mutex
 		done     int
 	)
+	// sentAt records when the feeder handed each index out, so workers can
+	// report queue wait. Allocated (and the clock read) only when telemetry
+	// is on; the write happens before the channel send and the read after
+	// the receive, so the slice needs no lock.
+	var sentAt []time.Time
+	if met != nil {
+		sentAt = make([]time.Time, n)
+	}
 	indices := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			var (
+				busyCt, idleCt telemetry.Count
+				loopStart      time.Time
+				busyTotal      time.Duration
+			)
+			if met != nil {
+				busyCt, idleCt = met.workerCounts(w)
+				loopStart = time.Now()
+			}
 			for i := range indices {
+				var t0 time.Time
+				if met != nil {
+					t0 = time.Now()
+					met.started.Inc()
+				}
 				runOne(poolCtx, i)
+				if met != nil {
+					d := time.Since(t0)
+					busyTotal += d
+					busyCt.Add(uint64(d.Nanoseconds()))
+					met.replicaDone(d, t0.Sub(sentAt[i]), errs[i])
+				}
 				if errs[i] != nil {
 					// Stop handing out work; already-running replicas
 					// observe the cancellation through their context.
@@ -84,10 +134,18 @@ func runPool(ctx context.Context, job Job, streams []*rng.RNG) ([]Record, error)
 					progress.Unlock()
 				}
 			}
-		}()
+			if met != nil {
+				if idleT := time.Since(loopStart) - busyTotal; idleT > 0 {
+					idleCt.Add(uint64(idleT.Nanoseconds()))
+				}
+			}
+		}(w)
 	}
 feed:
 	for i := range streams {
+		if sentAt != nil {
+			sentAt[i] = time.Now()
+		}
 		select {
 		case indices <- i:
 		case <-poolCtx.Done():

@@ -35,6 +35,10 @@ type Config struct {
 	// Sink, when non-nil, receives the engine's structured per-replica
 	// JSONL records alongside the rendered tables.
 	Sink engine.Sink
+	// Progress, when non-nil, receives live replica completion counts from
+	// every engine job an experiment runs (the cmd/experiments -v
+	// heartbeat). Stderr-only consumers keep tables byte-identical.
+	Progress func(done, total int)
 	// Context cancels long experiments mid-run (nil = background).
 	Context context.Context
 	// FlashPeak overrides the E15 flash-crowd peak arrival multiplier
@@ -61,6 +65,7 @@ func (c Config) job(name string, backend engine.Backend, replicas int, seedOffse
 		Seed:     c.seed() + seedOffset,
 		Workers:  c.Workers,
 		Sink:     c.Sink,
+		Progress: c.Progress,
 	}
 }
 
@@ -78,6 +83,7 @@ func (c Config) runConfig(horizon float64, peerCap, replicas int) core.RunConfig
 		Seed:     c.seed(),
 		Workers:  c.Workers,
 		Sink:     c.Sink,
+		Progress: c.Progress,
 		Context:  c.Context,
 	}
 }

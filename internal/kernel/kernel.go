@@ -79,12 +79,21 @@ type Kernel struct {
 	occ    dist.TimeAverage
 	tap    Tap
 	halter Halter
+
+	// met holds the telemetry counter handles (zero = disabled, every use
+	// a nil-check no-op); metFlushed is the event count already pushed to
+	// the registry — see metrics.go for the batching contract.
+	met        metrics
+	metFlushed uint64
 }
 
 // New builds a kernel driving proc from the given stream and records the
-// initial occupancy observation at time zero.
+// initial occupancy observation at time zero. When a telemetry registry is
+// installed (telemetry.SetDefault), the kernel binds its event/halt/
+// no-progress counters here; binding consumes no randomness and never
+// changes which realization a seed produces.
 func New(r *rng.RNG, proc Process) *Kernel {
-	k := &Kernel{r: r, proc: proc}
+	k := &Kernel{r: r, proc: proc, met: grabMetrics()}
 	k.occ.Observe(0, proc.Population())
 	return k
 }
@@ -140,10 +149,15 @@ func (k *Kernel) Step() error {
 		total += r
 	}
 	if total <= 0 {
+		k.met.noProgress.Inc()
+		k.FlushMetrics()
 		return ErrNoProgress
 	}
 	k.now += k.r.Exp(total)
 	k.events++
+	if k.met.events.Live() && k.events-k.metFlushed >= eventBatch {
+		k.FlushMetrics()
+	}
 
 	u := k.r.Float64() * total
 	class := -1
@@ -167,6 +181,8 @@ func (k *Kernel) Step() error {
 	if k.tap != nil {
 		k.tap.OnEvent(k.now, class, pop)
 		if k.halter != nil && k.halter.Halted() {
+			k.met.halts.Inc()
+			k.FlushMetrics()
 			return ErrHalted
 		}
 	}

@@ -1,0 +1,46 @@
+package kernel
+
+import "repro/internal/telemetry"
+
+// eventBatch is how many committed events a kernel accumulates before
+// flushing them to the telemetry registry in one atomic add. Batching keeps
+// the per-event cost to a subtraction and a predictable branch (the 2%
+// overhead gate in telemetry_overhead_test.go measures exactly this), at
+// the price of live counters lagging a running replica by < eventBatch
+// events. Exact totals are restored by FlushMetrics, which every
+// simulator's run loop calls on exit.
+const eventBatch = 1024
+
+// metrics holds the kernel's telemetry handles. The zero value (telemetry
+// disabled) makes every operation an inlined nil-check no-op.
+type metrics struct {
+	events     telemetry.Count
+	halts      telemetry.Count
+	noProgress telemetry.Count
+}
+
+// grabMetrics binds counter shards from the default registry, or returns
+// the zero (no-op) set when telemetry is disabled. Called once per kernel
+// construction — off the hot path.
+func grabMetrics() metrics {
+	reg := telemetry.Default()
+	if reg == nil {
+		return metrics{}
+	}
+	return metrics{
+		events:     reg.Counter(telemetry.KernelEvents).Grab(),
+		halts:      reg.Counter(telemetry.KernelHalts).Grab(),
+		noProgress: reg.Counter(telemetry.KernelNoProgress).Grab(),
+	}
+}
+
+// FlushMetrics pushes any batched event counts to the telemetry registry,
+// making the process-wide kernel_events_total exact. Simulators call it
+// when a run loop exits; it is idempotent and a no-op when telemetry is
+// disabled.
+func (k *Kernel) FlushMetrics() {
+	if k.met.events.Live() && k.events > k.metFlushed {
+		k.met.events.Add(k.events - k.metFlushed)
+		k.metFlushed = k.events
+	}
+}

@@ -1,0 +1,103 @@
+package kernel
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/telemetry"
+)
+
+// TestTelemetryOnOverhead enforces the telemetry acceptance bound: with a
+// registry installed, Kernel.Step — whose per-event cost is one batched
+// watermark check (see eventBatch in metrics.go) plus a sharded atomic add
+// every 1024 events — must stay within 2% of the telemetry-disabled loop.
+// Methodology mirrors TestTapOffOverhead: interleaved rounds, compare
+// minima, small absolute slack for timer granularity. Skipped in -short
+// mode and under the race detector.
+func TestTelemetryOnOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("timing gate skipped under the race detector")
+	}
+	const (
+		iters  = 400_000
+		rounds = 9
+	)
+	mkKernel := func(reg *telemetry.Registry) (*birthDeath, *Kernel) {
+		telemetry.SetDefault(reg)
+		p := &birthDeath{lambda: 2, mu: 1, n: 100}
+		return p, New(rng.New(1), p) // binds (or skips) metrics at construction
+	}
+	defer telemetry.SetDefault(nil)
+
+	reg := telemetry.New()
+	minOn, minOff := time.Duration(1<<62), time.Duration(1<<62)
+	var onKernel *Kernel
+	for r := 0; r < rounds; r++ {
+		p, k := mkKernel(reg)
+		if d := timeSteps(p, k, iters, k.Step); d < minOn {
+			minOn = d
+		}
+		onKernel = k
+		p, k = mkKernel(nil)
+		if d := timeSteps(p, k, iters, k.Step); d < minOff {
+			minOff = d
+		}
+	}
+	// The enabled kernels flushed batches along the way; flush the last
+	// round's remainder and confirm the registry saw real traffic — guards
+	// against the gate silently measuring a disabled path.
+	onKernel.FlushMetrics()
+	if got := reg.CounterValue(telemetry.KernelEvents); got < iters {
+		t.Fatalf("telemetry-on rounds recorded %d events, want >= %d", got, iters)
+	}
+
+	limit := minOff + minOff/50 + 2*time.Millisecond
+	t.Logf("step (telemetry on): %v, off: %v over %d iters (min of %d rounds)",
+		minOn, minOff, iters, rounds)
+	if minOn > limit {
+		t.Errorf("telemetry-on Step overhead too high: %v vs disabled %v (limit %v)",
+			minOn, minOff, limit)
+	}
+}
+
+// TestKernelMetricsExact: the batched kernel_events_total is exact after
+// FlushMetrics regardless of where the run stops relative to the batch
+// boundary, and halts / no-progress land in their counters immediately.
+func TestKernelMetricsExact(t *testing.T) {
+	defer telemetry.SetDefault(nil)
+	for _, steps := range []int{1, eventBatch - 1, eventBatch, eventBatch + 1, 3*eventBatch + 17} {
+		reg := telemetry.New()
+		telemetry.SetDefault(reg)
+		p := &birthDeath{lambda: 2, mu: 1, n: 100}
+		k := New(rng.New(1), p)
+		for i := 0; i < steps; i++ {
+			if err := k.Step(); err != nil {
+				t.Fatalf("steps=%d: %v", steps, err)
+			}
+		}
+		k.FlushMetrics()
+		if got := reg.CounterValue(telemetry.KernelEvents); got != uint64(steps) {
+			t.Errorf("steps=%d: kernel_events_total = %d", steps, got)
+		}
+		k.FlushMetrics() // idempotent
+		if got := reg.CounterValue(telemetry.KernelEvents); got != uint64(steps) {
+			t.Errorf("steps=%d: double flush changed the counter to %d", steps, got)
+		}
+	}
+
+	// ErrNoProgress increments its counter and flushes the batch remainder.
+	reg := telemetry.New()
+	telemetry.SetDefault(reg)
+	dead := &birthDeath{lambda: 0, mu: 0, n: 0}
+	k := New(rng.New(1), dead)
+	if err := k.Step(); err != ErrNoProgress {
+		t.Fatalf("err = %v, want ErrNoProgress", err)
+	}
+	if got := reg.CounterValue(telemetry.KernelNoProgress); got != 1 {
+		t.Errorf("kernel_no_progress_total = %d, want 1", got)
+	}
+}

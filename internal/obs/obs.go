@@ -24,7 +24,11 @@
 // all observation output byte-identical across worker counts.
 package obs
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/telemetry"
+)
 
 // Probe reads one scalar from the observed process. Probes are read after
 // every committed event (post-event state); they must be cheap and must
@@ -126,10 +130,13 @@ func NewSet(observers ...Observer) *Set {
 	return s
 }
 
-// Add appends an observer (nil observers are ignored).
+// Add appends an observer (nil observers are ignored). Attachment counts
+// mirror into the telemetry registry (obs_observers_total) when one is
+// installed — construction-frequency accounting, never per event.
 func (s *Set) Add(o Observer) {
 	if o != nil {
 		s.observers = append(s.observers, o)
+		telemetry.Inc(telemetry.ObsObservers)
 	}
 }
 
@@ -171,5 +178,6 @@ func (s *Set) Snapshot() Snapshot {
 			e.EmitTo(&snap)
 		}
 	}
+	telemetry.Inc(telemetry.ObsSnapshots)
 	return snap
 }

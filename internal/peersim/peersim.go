@@ -388,6 +388,7 @@ func (s *Swarm) deliver(target, uploader int, useful pieceset.Set) {
 // stop-watcher ends the run cleanly (nil error); inspect the watch for the
 // hitting time.
 func (s *Swarm) RunUntil(maxTime float64, maxPeers int) error {
+	defer s.k.FlushMetrics() // exact kernel_events_total at run end
 	for s.Now() < maxTime {
 		if maxPeers > 0 && len(s.peers) >= maxPeers {
 			return nil

@@ -419,6 +419,7 @@ func (s *Swarm) stepChurn() {
 // fired. maxPeers <= 0 disables the population limit. An attached
 // stop-watcher ends the run cleanly with StopObserver.
 func (s *Swarm) RunUntil(maxTime float64, maxPeers int) (StopReason, error) {
+	defer s.k.FlushMetrics() // exact kernel_events_total at run end
 	for s.Now() < maxTime {
 		if maxPeers > 0 && s.N() >= maxPeers {
 			return StopPeers, nil

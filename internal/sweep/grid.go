@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/model"
+	"repro/internal/telemetry"
 )
 
 // AxisSpec is one axis of a grid: which parameter it moves and the closed
@@ -247,6 +248,7 @@ func (g Grid) Run(ctx context.Context, r *Runner) (*Map, error) {
 	m.Stats = statsDelta(before, r.stats)
 	m.Stats.Rounds = rounds
 	m.Stats.DenseCells = fx * fy
+	telemetry.Add(telemetry.SweepRounds, uint64(rounds))
 	return m, nil
 }
 
@@ -277,6 +279,7 @@ func (g Grid) RunDense(ctx context.Context, r *Runner) (*Map, error) {
 	m.Stats = statsDelta(before, r.stats)
 	m.Stats.Rounds = 1
 	m.Stats.DenseCells = fx * fy
+	telemetry.Add(telemetry.SweepRounds, 1)
 	return m, nil
 }
 

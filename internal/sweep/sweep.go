@@ -35,6 +35,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/model"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 )
 
 // Errors reported by the sweep subsystem.
@@ -154,10 +155,21 @@ func (r *Runner) cache() *Cache {
 // sharded across the worker pool. Results and the journal byte stream are
 // deterministic for any worker count because each cell's stream is a pure
 // function of its cache key and cache writes follow input order.
+//
+// When telemetry is enabled the batch's work deltas mirror into the
+// process registry (sweep_cells_evaluated_total, sweep_cache_hits_total,
+// sweep_cells_deduped_total) so /metrics and the run report expose the
+// live cache hit rate.
 func (r *Runner) Points(ctx context.Context, name string, pts []Point) ([]Cell, error) {
 	if r.Evaluator == nil {
 		return nil, errors.New("sweep: runner has no evaluator")
 	}
+	before := r.stats
+	defer func() {
+		telemetry.Add(telemetry.SweepEvaluated, uint64(r.stats.Evaluated-before.Evaluated))
+		telemetry.Add(telemetry.SweepCacheHits, uint64(r.stats.CacheHits-before.CacheHits))
+		telemetry.Add(telemetry.SweepDeduped, uint64(r.stats.Deduped-before.Deduped))
+	}()
 	cache := r.cache()
 	type work struct {
 		pt   Point

@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples, log₂
+// histograms as cumulative {le="..."} bucket series with _sum and _count.
+// Output order is deterministic (sorted names), so two snapshots of a
+// quiesced registry render byte-identically.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	// Labeled counter series (name{worker="3"}) share one # TYPE line per
+	// base name; emission follows sorted full names, so series of one base
+	// are adjacent.
+	lastType := ""
+	for _, name := range sortedNames(r.counters) {
+		base := baseName(name)
+		if base != lastType {
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", base); err != nil {
+				return err
+			}
+			lastType = base
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, r.counters[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedNames(r.gauges) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", baseName(name), name, r.gauges[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedNames(r.hists) {
+		if err := writePromHistogram(w, name, r.hists[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// baseName strips a "{label=...}" suffix from a metric name.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// writePromHistogram renders one histogram: cumulative buckets at each
+// occupied log₂ bound plus the mandatory +Inf bucket, then _sum and
+// _count.
+func writePromHistogram(w io.Writer, name string, h *Histogram) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		cum += n
+		le := bucketBound(i)
+		if le != "+Inf" {
+			// Prometheus le values are floats; the inclusive uint64 bound
+			// 2^i−1 is exact in float64 only up to 2^53, so render via
+			// ParseFloat-compatible formatting of the exact integer.
+			le = strconv.FormatFloat(float64(uint64(1)<<i-1), 'g', -1, 64)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+		name, h.count.Load(), name, h.sum.Load(), name, h.count.Load())
+	return err
+}
+
+// Handler returns the exposition mux: /metrics (Prometheus text), /vars
+// (JSON snapshot), /healthz, and the net/http/pprof handlers under
+// /debug/pprof/.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/vars", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a live exposition endpoint started by Serve.
+type Server struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (host:port; port 0 picks a free port) and serves the
+// registry's Handler on a background goroutine until Close.
+func Serve(addr string, r *Registry) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(lis)
+	return &Server{lis: lis, srv: srv}, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// Close stops the server. Idempotent; nil-safe.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

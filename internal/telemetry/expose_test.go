@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildRegistry assembles a registry with one of everything.
+func buildRegistry() *Registry {
+	reg := New()
+	reg.Counter(KernelEvents).Add(4096)
+	reg.Counter(EngineReplicasCompleted).Add(8)
+	reg.Counter(Labeled(EngineWorkerBusyNS, "worker", "0")).Add(100)
+	reg.Counter(Labeled(EngineWorkerBusyNS, "worker", "1")).Add(200)
+	reg.Gauge(ProgressDone).Set(3)
+	h := reg.Histogram(EngineReplicaBusyNS)
+	h.Observe(0)
+	h.Observe(5)
+	h.Observe(1000)
+	return reg
+}
+
+// TestWritePrometheus pins the exposition format: TYPE lines, labeled
+// series grouped under one TYPE, cumulative histogram buckets, and
+// deterministic ordering.
+func TestWritePrometheus(t *testing.T) {
+	reg := buildRegistry()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE kernel_events_total counter\nkernel_events_total 4096\n",
+		"# TYPE engine_worker_busy_ns_total counter\n" +
+			`engine_worker_busy_ns_total{worker="0"} 100` + "\n" +
+			`engine_worker_busy_ns_total{worker="1"} 200` + "\n",
+		"# TYPE progress_done gauge\nprogress_done 3\n",
+		"# TYPE engine_replica_busy_ns histogram\n",
+		`engine_replica_busy_ns_bucket{le="0"} 1`,
+		`engine_replica_busy_ns_bucket{le="7"} 2`,
+		`engine_replica_busy_ns_bucket{le="1023"} 3`,
+		`engine_replica_busy_ns_bucket{le="+Inf"} 3`,
+		"engine_replica_busy_ns_sum 1005\nengine_replica_busy_ns_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE engine_worker_busy_ns_total"); n != 1 {
+		t.Errorf("labeled series must share one TYPE line, got %d", n)
+	}
+	// Deterministic: a second render is byte-identical.
+	var b2 strings.Builder
+	reg.WritePrometheus(&b2)
+	if b2.String() != out {
+		t.Error("two renders of a quiesced registry differ")
+	}
+}
+
+// TestServeEndpoints spins the real HTTP server on an ephemeral port and
+// exercises /metrics, /vars, /healthz, and /debug/pprof/.
+func TestServeEndpoints(t *testing.T) {
+	reg := buildRegistry()
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "kernel_events_total 4096") {
+		t.Errorf("/metrics: code %d body %q", code, body)
+	}
+	code, body := get("/vars")
+	if code != 200 {
+		t.Fatalf("/vars code %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/vars not JSON: %v\n%s", err, body)
+	}
+	if snap.Counters[KernelEvents] != 4096 || snap.Gauges[ProgressDone] != 3 {
+		t.Errorf("/vars snapshot wrong: %+v", snap)
+	}
+	if snap.Histograms[EngineReplicaBusyNS].Count != 3 {
+		t.Errorf("/vars histogram wrong: %+v", snap.Histograms)
+	}
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz: code %d body %q", code, body)
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: code %d", code)
+		_ = body
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	srv.Close() // idempotent
+	var nilSrv *Server
+	if nilSrv.Close() != nil || nilSrv.Addr() != "" {
+		t.Error("nil server must be inert")
+	}
+}
+
+// TestReport assembles a run report from a populated registry and checks
+// the derived headline numbers.
+func TestReport(t *testing.T) {
+	reg := buildRegistry()
+	reg.Counter(SweepEvaluated).Add(30)
+	reg.Counter(SweepCacheHits).Add(70)
+	reg.Counter(SweepDeduped).Add(5)
+	reg.Counter(SweepRounds).Add(4)
+
+	rep := reg.Report("unit")
+	if rep.Schema != ReportSchema || rep.Label != "unit" {
+		t.Fatalf("header wrong: %+v", rep)
+	}
+	if rep.Events != 4096 || rep.Replicas != 8 {
+		t.Fatalf("events/replicas = %d/%d", rep.Events, rep.Replicas)
+	}
+	if rep.WallSeconds <= 0 || rep.EventsPerSec <= 0 {
+		t.Fatalf("wall/rate = %v/%v", rep.WallSeconds, rep.EventsPerSec)
+	}
+	if got := rep.EventsPerSec * rep.WallSeconds; got < 4095 || got > 4097 {
+		t.Errorf("events/sec inconsistent: %v * %v = %v", rep.EventsPerSec, rep.WallSeconds, got)
+	}
+	if rep.Cache == nil || rep.Cache.HitRate != 0.7 || rep.Cache.Rounds != 4 {
+		t.Fatalf("cache report wrong: %+v", rep.Cache)
+	}
+	if rep.Mem.SysBytes == 0 {
+		t.Error("MemStats not populated")
+	}
+
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := reg.WriteReportFile(path, "unit"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("report file not JSON: %v", err)
+	}
+	if back.Events != 4096 || back.Metrics.Counters[KernelEvents] != 4096 {
+		t.Errorf("round-tripped report wrong: %+v", back)
+	}
+
+	// Disabled-mode report still stamps the schema.
+	var nilReg *Registry
+	rep = nilReg.Report("off")
+	if rep.Schema != ReportSchema || rep.Events != 0 {
+		t.Errorf("nil-registry report: %+v", rep)
+	}
+}

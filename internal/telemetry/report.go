@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// ReportSchema identifies the run-report JSON layout. Bump on breaking
+// changes; CI's BENCH_telemetry.json trend line keys off it.
+const ReportSchema = "p2p-telemetry/1"
+
+// Report is the structured end-of-run summary a binary writes alongside
+// its JSONL outputs (-report FILE): the headline throughput figures the
+// ROADMAP's events/sec trend line asks for, cache effectiveness, a
+// runtime.MemStats digest, and the full raw metric dump. Wall time and
+// memory are nondeterministic by nature; Events (and every other counter)
+// is exact — kernels flush their batched counts at run end — and
+// deterministic at a fixed seed, which is what makes cross-PR events/sec
+// comparable: same work, measured wall clock.
+type Report struct {
+	Schema       string  `json:"schema"`
+	Label        string  `json:"label"`
+	UnixTime     int64   `json:"unix_time"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	Events       uint64  `json:"events_total"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Replicas     uint64  `json:"replicas"`
+
+	Cache *CacheReport `json:"cache,omitempty"`
+	Mem   MemReport    `json:"mem"`
+
+	Metrics Snapshot `json:"metrics"`
+}
+
+// CacheReport summarizes the sweep cell cache (present only when a sweep
+// ran).
+type CacheReport struct {
+	Evaluated uint64  `json:"evaluated"`
+	Hits      uint64  `json:"hits"`
+	Deduped   uint64  `json:"deduped"`
+	Rounds    uint64  `json:"rounds"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// MemReport is the runtime.MemStats digest: allocation volume and GC work.
+type MemReport struct {
+	AllocBytes      uint64 `json:"alloc_bytes"`
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	SysBytes        uint64 `json:"sys_bytes"`
+	Mallocs         uint64 `json:"mallocs"`
+	Frees           uint64 `json:"frees"`
+	GCRuns          uint32 `json:"gc_runs"`
+	GCPauseNS       uint64 `json:"gc_pause_ns"`
+}
+
+// Report assembles the end-of-run summary from the registry's current
+// state. Nil registry → zero report (schema still stamped, so consumers
+// can detect a disabled run).
+func (r *Registry) Report(label string) Report {
+	rep := Report{
+		Schema:   ReportSchema,
+		Label:    label,
+		UnixTime: time.Now().Unix(),
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rep.Mem = MemReport{
+		AllocBytes:      ms.Alloc,
+		TotalAllocBytes: ms.TotalAlloc,
+		SysBytes:        ms.Sys,
+		Mallocs:         ms.Mallocs,
+		Frees:           ms.Frees,
+		GCRuns:          ms.NumGC,
+		GCPauseNS:       ms.PauseTotalNs,
+	}
+	if r == nil {
+		return rep
+	}
+	rep.Metrics = r.Snapshot()
+	rep.WallSeconds = rep.Metrics.UptimeSeconds
+	rep.Events = rep.Metrics.Counters[KernelEvents]
+	rep.Replicas = rep.Metrics.Counters[EngineReplicasCompleted]
+	if rep.WallSeconds > 0 {
+		rep.EventsPerSec = float64(rep.Events) / rep.WallSeconds
+	}
+	evaluated := rep.Metrics.Counters[SweepEvaluated]
+	hits := rep.Metrics.Counters[SweepCacheHits]
+	if evaluated+hits > 0 {
+		rep.Cache = &CacheReport{
+			Evaluated: evaluated,
+			Hits:      hits,
+			Deduped:   rep.Metrics.Counters[SweepDeduped],
+			Rounds:    rep.Metrics.Counters[SweepRounds],
+			HitRate:   float64(hits) / float64(evaluated+hits),
+		}
+	}
+	return rep
+}
+
+// WriteReportFile writes the report as indented JSON to path. The write is
+// atomic enough for CI artifact use (single WriteFile).
+func (r *Registry) WriteReportFile(path, label string) error {
+	data, err := json.MarshalIndent(r.Report(label), "", "  ")
+	if err != nil {
+		return fmt.Errorf("telemetry: report: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,260 @@
+package telemetry
+
+import (
+	"math/bits"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestNilSafety: every operation on nil registries, metrics, and zero
+// handles must no-op without panicking — that is the entire disabled-mode
+// contract.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry must yield nil metrics, got %v %v %v", c, g, h)
+	}
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Errorf("nil counter Value = %d", c.Value())
+	}
+	ct := c.Grab()
+	if ct.Live() {
+		t.Error("nil counter Grab must yield a dead handle")
+	}
+	ct.Add(1)
+	ct.Inc()
+	g.Set(5)
+	g.Add(-2)
+	if g.Value() != 0 {
+		t.Errorf("nil gauge Value = %d", g.Value())
+	}
+	h.Observe(7)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Errorf("nil histogram Count/Sum = %d/%d", h.Count(), h.Sum())
+	}
+	if s := r.Snapshot(); s.Counters != nil {
+		t.Errorf("nil registry snapshot = %+v", s)
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Errorf("nil WritePrometheus: %v", err)
+	}
+	if v := r.CounterValue("x"); v != 0 {
+		t.Errorf("nil CounterValue = %d", v)
+	}
+	if got := Default(); got != nil {
+		t.Fatalf("default registry should start nil, got %v", got)
+	}
+	Inc("a") // no registry installed: must no-op
+	Add("a", 2)
+}
+
+// TestCounterShardMergeExact: concurrent writers on grabbed shard handles
+// must merge to the exact total — the -race acceptance test for the
+// sharded counter. Each goroutine grabs its own handle (distinct shards
+// until wraparound) and hammers it; Value must equal the sum of all adds.
+func TestCounterShardMergeExact(t *testing.T) {
+	reg := New()
+	c := reg.Counter("test_total")
+	const (
+		writers = 16 // deliberately more than the shard cap forces sharing
+		adds    = 10_000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ct := c.Grab()
+			for i := 0; i < adds; i++ {
+				if i%2 == 0 {
+					ct.Inc()
+				} else {
+					ct.Add(2)
+				}
+			}
+		}(w)
+	}
+	// Concurrent direct adds and reads must also be safe.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < adds; i++ {
+			c.Inc()
+			_ = c.Value()
+			_ = reg.Snapshot()
+		}
+	}()
+	wg.Wait()
+	want := uint64(writers*adds*3/2 + adds)
+	if got := c.Value(); got != want {
+		t.Fatalf("merged counter = %d, want %d", got, want)
+	}
+}
+
+// TestGaugeConcurrent: gauge adds merge exactly.
+func TestGaugeConcurrent(t *testing.T) {
+	reg := New()
+	g := reg.Gauge("inflight")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge after balanced adds = %d, want 0", got)
+	}
+}
+
+// TestHistogramBucketSumInvariant is the histogram property test: for any
+// observation stream — here random values spanning every magnitude, fed
+// concurrently — the bucket counts always sum to Count and each value
+// lands in the bucket whose bounds contain it.
+func TestHistogramBucketSumInvariant(t *testing.T) {
+	reg := New()
+	h := reg.Histogram("vals")
+	const (
+		writers = 8
+		obs     = 5_000
+	)
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		want = make(map[int]uint64) // bucket index → expected count
+		sum  uint64
+	)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(uint64(w + 1))
+			local := make(map[int]uint64)
+			var localSum uint64
+			for i := 0; i < obs; i++ {
+				// Spread magnitudes: v in [0, 2^k) for random k ≤ 63.
+				k := uint(r.Float64() * 64)
+				v := uint64(r.Float64() * float64(uint64(1)<<k))
+				h.Observe(v)
+				local[bits.Len64(v)]++
+				localSum += v
+			}
+			mu.Lock()
+			for b, n := range local {
+				want[b] += n
+			}
+			sum += localSum
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+
+	if got, wantN := h.Count(), uint64(writers*obs); got != wantN {
+		t.Fatalf("Count = %d, want %d", got, wantN)
+	}
+	if got := h.Sum(); got != sum {
+		t.Fatalf("Sum = %d, want %d", got, sum)
+	}
+	snap := h.snapshot()
+	var bucketTotal uint64
+	for _, n := range snap.Buckets {
+		bucketTotal += n
+	}
+	if bucketTotal != h.Count() {
+		t.Fatalf("bucket sum %d != count %d", bucketTotal, h.Count())
+	}
+	for b, n := range want {
+		if got := snap.Buckets[bucketBound(b)]; got != n {
+			t.Errorf("bucket %d (le=%s) = %d, want %d", b, bucketBound(b), got, n)
+		}
+	}
+}
+
+// TestHistogramBucketBounds pins the log₂ bucketing rule at its edges.
+func TestHistogramBucketBounds(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1<<63 - 1, 63}, {1 << 63, 64}, {^uint64(0), 64},
+	}
+	for _, c := range cases {
+		if got := bits.Len64(c.v); got != c.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+	}
+	if bucketBound(0) != "0" || bucketBound(1) != "1" || bucketBound(3) != "7" || bucketBound(64) != "+Inf" {
+		t.Errorf("bucket bounds wrong: %s %s %s %s",
+			bucketBound(0), bucketBound(1), bucketBound(3), bucketBound(64))
+	}
+}
+
+// TestGrabRoundRobin: sequential grabs must land on distinct shards until
+// the shard count wraps, so concurrent components do not false-share.
+func TestGrabRoundRobin(t *testing.T) {
+	reg := New()
+	c := reg.Counter("rr_total")
+	n := len(c.shards)
+	slots := make(map[interface{}]bool)
+	for i := 0; i < n; i++ {
+		ct := c.Grab()
+		if slots[ct.v] {
+			t.Fatalf("grab %d of %d reused a shard", i, n)
+		}
+		slots[ct.v] = true
+	}
+	// Wraparound reuses shards but stays correct.
+	ct := c.Grab()
+	ct.Add(5)
+	c.Grab().Add(7)
+	if got := c.Value(); got != 12 {
+		t.Fatalf("wrapped shard total = %d, want 12", got)
+	}
+}
+
+// TestLabeled pins the labeled-series name syntax and TYPE grouping input.
+func TestLabeled(t *testing.T) {
+	got := Labeled(EngineWorkerBusyNS, "worker", "3")
+	want := `engine_worker_busy_ns_total{worker="3"}`
+	if got != want {
+		t.Fatalf("Labeled = %q, want %q", got, want)
+	}
+	if baseName(got) != EngineWorkerBusyNS {
+		t.Fatalf("baseName(%q) = %q", got, baseName(got))
+	}
+	if baseName("plain") != "plain" {
+		t.Fatalf("baseName(plain) = %q", baseName("plain"))
+	}
+}
+
+// TestDefaultInstallUninstall: SetDefault governs the convenience helpers.
+func TestDefaultInstallUninstall(t *testing.T) {
+	reg := New()
+	SetDefault(reg)
+	defer SetDefault(nil)
+	Inc("helper_total")
+	Add("helper_total", 4)
+	Add("helper_total", 0) // zero adds must not create churn but stay safe
+	if got := reg.CounterValue("helper_total"); got != 5 {
+		t.Fatalf("helper counter = %d, want 5", got)
+	}
+	SetDefault(nil)
+	Inc("helper_total")
+	if got := reg.CounterValue("helper_total"); got != 5 {
+		t.Fatalf("uninstalled helper bumped the old registry: %d", got)
+	}
+}
