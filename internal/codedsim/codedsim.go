@@ -103,18 +103,36 @@ const (
 
 // Swarm is one sample path of the coded system's CTMC, with peers grouped
 // by canonical subspace.
+//
+// Groups are interned: each distinct live subspace gets a dense int id on
+// first sight, the multiset of peers runs over ids, and ids of dead groups
+// recycle through a LIFO free list. The canonical-key string is built only
+// when a subspace object is newly constructed (innovative transfers, gift
+// arrivals) — steady-state events (arrivals of preset types, departures,
+// non-innovative contacts) touch no strings and no maps.
 type Swarm struct {
 	params stability.CodedParams
 	r      *rng.RNG
 	k      *kernel.Kernel
 
-	groups map[string]*gf.Subspace // canonical key → subspace
-	counts kernel.Counts[string]   // multiset of peers over canonical keys
+	subs   []*gf.Subspace     // id → subspace (nil when the id is free)
+	keys   []string           // id → canonical key, for idOf upkeep
+	perm   []bool             // id → never recycled (arrival types, full)
+	idOf   map[string]int     // canonical key → id of a live or permanent group
+	freeID []int              // LIFO recycled ids
+	counts kernel.Counts[int] // multiset of peers over group ids
 	nFull  int
 
-	arrivalWeights []float64 // per params.Arrivals, plus random-gift stream
+	arrivalWeights []float64   // per params.Arrivals, plus random-gift stream
+	arrivalIDs     []int       // permanent id per preset arrival stream
+	arrivalPicker  *rng.Picker // prefix-cached weights: no per-arrival rescan
+	fullID         int         // permanent id of the full subspace
+	lambdaTotal    float64     // gift + Σ arrival rates, cached off the event path
 	randomGiftRate float64
 	fullExchange   bool
+
+	vbuf    gf.Vec // the coded piece in flight (drawn or combined into)
+	scratch gf.Vec // ContainsBuf elimination workspace
 
 	stats Stats
 }
@@ -131,23 +149,68 @@ func New(p stability.CodedParams, opts ...Option) (*Swarm, error) {
 	s := &Swarm{
 		params:         p,
 		r:              cfg.generator(),
-		groups:         make(map[string]*gf.Subspace),
+		idOf:           make(map[string]int),
 		randomGiftRate: cfg.randomGiftRate,
 		fullExchange:   cfg.fullExchange,
+		vbuf:           make(gf.Vec, p.K),
+		scratch:        make(gf.Vec, p.K),
 	}
+	// Cache the total arrival rate in the exact summation order Rates used
+	// to compute per event, so the cached value is bit-identical.
+	s.lambdaTotal = s.randomGiftRate
 	for _, a := range p.Arrivals {
 		s.arrivalWeights = append(s.arrivalWeights, a.Rate)
+		s.lambdaTotal += a.Rate
 	}
 	if cfg.randomGiftRate > 0 {
 		s.arrivalWeights = append(s.arrivalWeights, cfg.randomGiftRate)
 	}
+	picker, err := rng.NewPicker(s.arrivalWeights)
+	if err != nil {
+		return nil, fmt.Errorf("codedsim: %w", err)
+	}
+	s.arrivalPicker = picker
+	// Pre-intern the preset arrival types and the full subspace as permanent
+	// groups: steady-state arrivals and departures then resolve their group
+	// id with zero lookups.
+	for _, a := range p.Arrivals {
+		s.arrivalIDs = append(s.arrivalIDs, s.intern(a.V, true))
+	}
+	s.fullID = s.intern(gf.FullSubspace(p.Field, p.K), true)
 	for _, ig := range cfg.initial {
+		id := s.intern(ig.sub, true)
 		for i := 0; i < ig.count; i++ {
-			s.add(ig.sub)
+			s.addID(id)
 		}
 	}
 	s.k = kernel.New(s.r, s)
 	return s, nil
+}
+
+// intern resolves a subspace to its dense group id, allocating one on first
+// sight. Permanent ids (arrival types, the full subspace, initial groups)
+// survive group death so the hot paths that hold them never re-intern.
+func (s *Swarm) intern(sub *gf.Subspace, permanent bool) int {
+	key := sub.Key()
+	if id, ok := s.idOf[key]; ok {
+		if permanent {
+			s.perm[id] = true
+		}
+		return id
+	}
+	var id int
+	if n := len(s.freeID); n > 0 {
+		id = s.freeID[n-1]
+		s.freeID = s.freeID[:n-1]
+		s.subs[id], s.keys[id], s.perm[id] = sub, key, permanent
+	} else {
+		id = len(s.subs)
+		s.subs = append(s.subs, sub)
+		s.keys = append(s.keys, key)
+		s.perm = append(s.perm, permanent)
+	}
+	s.idOf[key] = id
+	return id
 }
 
 func validate(p stability.CodedParams, cfg config) error {
@@ -212,36 +275,37 @@ func (s *Swarm) DimCounts() []int { return s.dimCountsInto(nil) }
 // GroupCount returns how many distinct subspace types are occupied.
 func (s *Swarm) GroupCount() int { return s.counts.Occupied() }
 
-func (s *Swarm) add(sub *gf.Subspace) {
-	key := sub.Key()
-	if _, ok := s.groups[key]; !ok {
-		s.groups[key] = sub
-	}
-	s.counts.Add(key, 1)
-	if sub.IsFull() {
+// addID inserts one peer into the group with the given id.
+func (s *Swarm) addID(id int) {
+	s.counts.Add(id, 1)
+	if s.subs[id].IsFull() {
 		s.nFull++
 	}
 }
 
-func (s *Swarm) remove(sub *gf.Subspace) {
-	key := sub.Key()
-	s.counts.Add(key, -1)
-	if sub.IsFull() {
+// removeID removes one peer from the group; a non-permanent group that
+// empties gives its id back to the free list.
+func (s *Swarm) removeID(id int) {
+	s.counts.Add(id, -1)
+	if s.subs[id].IsFull() {
 		s.nFull--
 	}
-	if s.counts.Count(key) == 0 {
-		delete(s.groups, key)
+	if s.counts.Count(id) == 0 && !s.perm[id] {
+		delete(s.idOf, s.keys[id])
+		s.subs[id] = nil
+		s.keys[id] = ""
+		s.freeID = append(s.freeID, id)
 	}
 }
 
-// pickUniform returns a uniformly random peer's subspace in
+// pickUniform returns a uniformly random peer's group id in
 // O(log #occupied groups). N ≥ 1 is required; an empty swarm panics.
-func (s *Swarm) pickUniform() *gf.Subspace {
-	key, ok := s.counts.Pick(s.r)
+func (s *Swarm) pickUniform() int {
+	id, ok := s.counts.Pick(s.r)
 	if !ok {
 		panic("codedsim: pickUniform on an empty swarm")
 	}
-	return s.groups[key]
+	return id
 }
 
 // Population implements kernel.Process.
@@ -250,10 +314,7 @@ func (s *Swarm) Population() float64 { return float64(s.counts.Total()) }
 // Rates implements kernel.Process.
 func (s *Swarm) Rates(buf []float64) []float64 {
 	n := s.counts.Total()
-	lambdaTotal := s.randomGiftRate
-	for _, a := range s.params.Arrivals {
-		lambdaTotal += a.Rate
-	}
+	lambdaTotal := s.lambdaTotal
 	seed := 0.0
 	if n > 0 {
 		seed = s.params.Us
@@ -295,17 +356,15 @@ func (s *Swarm) SetTap(t kernel.Tap) { s.k.SetTap(t) }
 func (s *Swarm) Halted() bool { return s.k.TapHalted() }
 
 func (s *Swarm) stepArrival() {
-	idx, err := s.r.Categorical(s.arrivalWeights)
-	if err != nil {
-		panic(fmt.Sprintf("codedsim: arrival draw failed on validated weights: %v", err))
-	}
+	idx := s.arrivalPicker.Pick(s.r)
 	s.stats.Arrivals++
-	if idx < len(s.params.Arrivals) {
-		s.add(s.params.Arrivals[idx].V)
+	if idx < len(s.arrivalIDs) {
+		s.addID(s.arrivalIDs[idx])
 		return
 	}
-	// Random-gift stream: one uniformly random coding vector.
-	v := make(gf.Vec, s.params.K)
+	// Random-gift stream: one uniformly random coding vector. Building the
+	// 1-dimensional span allocates, inherently: gifts mint new subspaces.
+	v := s.vbuf
 	for i := range v {
 		v[i] = s.r.Intn(s.params.Field.Order())
 	}
@@ -313,67 +372,69 @@ func (s *Swarm) stepArrival() {
 	if err != nil {
 		panic(fmt.Sprintf("codedsim: span of drawn gift vector failed: %v", err))
 	}
-	s.add(sub)
+	s.addID(s.intern(sub, false))
 }
 
 // stepSeedTick has the fixed seed (which knows the whole file) send a
 // uniformly random coded piece to a uniform peer.
 func (s *Swarm) stepSeedTick() {
-	target := s.pickUniform()
+	targetID := s.pickUniform()
+	target := s.subs[targetID]
 	for tries := 0; ; tries++ {
-		v := make(gf.Vec, s.params.K)
+		v := s.vbuf
 		for i := range v {
 			v[i] = s.r.Intn(s.params.Field.Order())
 		}
 		if !s.fullExchange || target.IsFull() || tries >= 256 {
-			s.deliver(target, v)
+			s.deliver(targetID, v)
 			return
 		}
 		// Remark 16: the informed seed only sends innovative pieces.
-		in, err := target.Contains(v)
+		in, err := target.ContainsBuf(v, s.scratch)
 		if err == nil && !in {
-			s.deliver(target, v)
+			s.deliver(targetID, v)
 			return
 		}
 	}
 }
 
 func (s *Swarm) stepPeerTick() {
-	uploader := s.pickUniform()
-	target := s.pickUniform()
-	if uploader == target && s.counts.Count(uploader.Key()) == 1 {
+	uploaderID := s.pickUniform()
+	targetID := s.pickUniform()
+	if uploaderID == targetID && s.counts.Count(uploaderID) == 1 {
 		// A single peer cannot usefully contact itself; and even with
 		// count > 1 a same-subspace transfer is never innovative.
 		s.stats.NoOps++
 		return
 	}
 	if s.fullExchange {
-		s.deliverInformed(target, uploader)
+		s.deliverInformed(targetID, uploaderID)
 		return
 	}
-	v := uploader.RandomVector(s.r)
-	s.deliver(target, v)
+	v := s.subs[uploaderID].RandomVectorInto(s.r, s.vbuf)
+	s.deliver(targetID, v)
 }
 
 // deliverInformed implements Remark 16: with subspace descriptions
 // exchanged, any helpful uploader (V_B ⊄ V_A) delivers an innovative piece
 // with certainty. We realize it by rejection-sampling an innovative vector
 // from the uploader's subspace, which exists whenever help is possible.
-func (s *Swarm) deliverInformed(target, uploader *gf.Subspace) {
+func (s *Swarm) deliverInformed(targetID, uploaderID int) {
+	target, uploader := s.subs[targetID], s.subs[uploaderID]
 	sub, err := uploader.SubsetOf(target)
 	if err != nil || sub {
 		s.stats.NoOps++
 		return
 	}
 	for tries := 0; tries < 256; tries++ {
-		v := uploader.RandomVector(s.r)
-		in, err := target.Contains(v)
+		v := uploader.RandomVectorInto(s.r, s.vbuf)
+		in, err := target.ContainsBuf(v, s.scratch)
 		if err != nil {
 			s.stats.NoOps++
 			return
 		}
 		if !in {
-			s.deliver(target, v)
+			s.deliver(targetID, v)
 			return
 		}
 	}
@@ -382,8 +443,11 @@ func (s *Swarm) deliverInformed(target, uploader *gf.Subspace) {
 }
 
 // deliver adds coded piece v to the target group's subspace if innovative.
-func (s *Swarm) deliver(target *gf.Subspace, v gf.Vec) {
-	in, err := target.Contains(v)
+// Non-innovative contacts — the steady-state bulk — only touch the scratch
+// buffer; innovative ones mint the extended subspace and intern it.
+func (s *Swarm) deliver(targetID int, v gf.Vec) {
+	target := s.subs[targetID]
+	in, err := target.ContainsBuf(v, s.scratch)
 	if err != nil || in {
 		s.stats.NoOps++
 		return
@@ -393,11 +457,18 @@ func (s *Swarm) deliver(target *gf.Subspace, v gf.Vec) {
 		s.stats.NoOps++
 		return
 	}
-	s.remove(target)
-	if next.IsFull() && s.params.GammaInf() {
+	// Resolve the next group's id before removeID can recycle the target's:
+	// interning first keeps the id table consistent when the target group
+	// dies in the same event.
+	nextID := -1
+	if !next.IsFull() || !s.params.GammaInf() {
+		nextID = s.intern(next, false)
+	}
+	s.removeID(targetID)
+	if nextID < 0 {
 		s.stats.Departures++
 	} else {
-		s.add(next)
+		s.addID(nextID)
 	}
 	s.stats.Uploads++
 }
@@ -406,14 +477,11 @@ func (s *Swarm) stepDeparture() {
 	if s.nFull == 0 {
 		return // round-off fallback fired the class at zero rate
 	}
-	// Uniform among full peers; the full subspace has a unique canonical
-	// key, so all of them live in one group.
-	full := gf.FullSubspace(s.params.Field, s.params.K)
-	g, ok := s.groups[full.Key()]
-	if !ok {
+	// Uniform among full peers; the full subspace is one permanent group.
+	if s.counts.Count(s.fullID) == 0 {
 		return
 	}
-	s.remove(g)
+	s.removeID(s.fullID)
 	s.stats.Departures++
 }
 
@@ -454,8 +522,8 @@ func (s *Swarm) dimCountsInto(buf []int) []int {
 	for i := range buf {
 		buf[i] = 0
 	}
-	s.counts.Each(func(key string, n int) {
-		buf[s.groups[key].Dim()] += n
+	s.counts.Each(func(id int, n int) {
+		buf[s.subs[id].Dim()] += n
 	})
 	return buf
 }

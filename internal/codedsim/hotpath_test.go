@@ -1,0 +1,85 @@
+package codedsim
+
+import (
+	"testing"
+
+	"repro/internal/gf"
+	"repro/internal/stability"
+)
+
+// hotSwarm builds the stationary hot-path workload of the coded simulator:
+// peers arrive already holding the full subspace at rate n and depart at
+// unit seeding rate γ = 1 (full-subspace arrivals are legal when γ < ∞),
+// so the population self-stabilizes near n with exactly one live coded
+// group. Every contact draws a random vector from the source's span and
+// runs the containment check against the target — always non-innovative —
+// which is precisely the steady-state arithmetic path: ContainsBuf on the
+// reusable scratch row, no interning, no group churn.
+func hotSwarm(tb testing.TB, n, warmupEvents int) *Swarm {
+	tb.Helper()
+	f, err := gf.New(4)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	p := stability.CodedParams{
+		K:     4,
+		Field: f,
+		Us:    1,
+		Mu:    1,
+		Gamma: 1,
+		Arrivals: []stability.CodedArrival{
+			{V: gf.FullSubspace(f, 4), Rate: float64(n)},
+		},
+	}
+	s, err := New(p, WithSeed(7))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < warmupEvents; i++ {
+		if err := s.Step(); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if s.N() < n/2 {
+		tb.Fatalf("warmup did not reach steady state: N = %d, want ≈ %d", s.N(), n)
+	}
+	return s
+}
+
+// TestStepAllocsSteadyState gates the coded per-event path at zero heap
+// allocations once the group table is warm: interned group IDs mean no
+// per-event key strings, and the vector scratch buffers absorb the GF
+// arithmetic. Skipped under -race, whose instrumentation allocates on its
+// own.
+func TestStepAllocsSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation gate needs a non-race build")
+	}
+	s := hotSwarm(t, 2000, 60_000)
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 50; i++ {
+			if err := s.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Step allocates %v allocs per 50 events, want 0", allocs)
+	}
+}
+
+// BenchmarkHotPathStep measures steady-state events/sec on the coded
+// simulator; the workload is stationary so b.N does not drift the
+// population.
+func BenchmarkHotPathStep(b *testing.B) {
+	n := 100_000
+	s := hotSwarm(b, n, 15*n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}

@@ -176,11 +176,14 @@ func (res *Result) aggregate() {
 		}
 		sum.Add(v)
 	}
+	var scratch []string // key-sort buffer reused across all replica records
 	for _, rec := range res.Records {
-		for _, k := range sortedKeys(rec.Values) {
+		scratch = appendSortedKeys(scratch[:0], rec.Values)
+		for _, k := range scratch {
 			add(k, rec.Values[k])
 		}
-		for _, k := range sortedKeys(rec.Marks) {
+		scratch = appendSortedKeys(scratch[:0], rec.Marks)
+		for _, k := range scratch {
 			add(k, rec.Marks[k])
 		}
 	}
@@ -316,10 +319,15 @@ func Run(ctx context.Context, job Job) (*Result, error) {
 
 // sortedKeys returns a map's keys in sorted order.
 func sortedKeys[V any](m map[string]V) []string {
-	keys := make([]string, 0, len(m))
+	return appendSortedKeys(make([]string, 0, len(m)), m)
+}
+
+// appendSortedKeys appends m's keys to buf and sorts the result, the
+// reuse-friendly form of sortedKeys.
+func appendSortedKeys[V any](buf []string, m map[string]V) []string {
 	for k := range m {
-		keys = append(keys, k)
+		buf = append(buf, k)
 	}
-	sort.Strings(keys)
-	return keys
+	sort.Strings(buf)
+	return buf
 }

@@ -95,27 +95,22 @@ func emit(job Job, res *Result) error {
 
 // JSONLSink writes each record as one JSON line. encoding/json marshals
 // map keys in sorted order, so the byte stream is deterministic. The sink
-// serializes writes, so several sequential jobs may share one.
+// serializes writes, so several sequential jobs may share one. It holds a
+// persistent json.Encoder, whose internal buffer is reused across records
+// (a value plus trailing newline encodes to the same bytes Marshal+'\n'
+// produced) instead of allocating a fresh marshal buffer per record.
 type JSONLSink struct {
-	mu sync.Mutex
-	w  io.Writer
+	mu  sync.Mutex
+	enc *json.Encoder
 }
 
 // NewJSONLSink wraps a writer.
-func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{enc: json.NewEncoder(w)} }
 
 func (s *JSONLSink) write(v any) error {
-	b, err := json.Marshal(v)
-	if err != nil {
-		return err
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, err := s.w.Write(b); err != nil {
-		return err
-	}
-	_, err = s.w.Write([]byte{'\n'})
-	return err
+	return s.enc.Encode(v)
 }
 
 // WriteReplica implements Sink.

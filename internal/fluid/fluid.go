@@ -89,18 +89,18 @@ func (s *System) Field(x []float64) ([]float64, error) {
 		if c == s.full || x[idx] <= 0 {
 			continue
 		}
-		for _, i := range c.Complement(s.params.K).Pieces() {
+		c.Complement(s.params.K).ForEach(func(i int) {
 			r := s.rate(x, n, c, i)
 			if r <= 0 {
-				continue
+				return
 			}
 			out[idx] -= r
 			next := c.With(i)
 			if next == s.full && s.params.GammaInf() {
-				continue // completion departs immediately
+				return // completion departs immediately
 			}
 			out[int(next)] += r
-		}
+		})
 	}
 	return out, nil
 }

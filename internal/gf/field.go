@@ -36,6 +36,7 @@ type Field struct {
 	logTab  []int // log of nonzero elements, base g
 	expTab  []int // powers of g, length 2(q-1) to skip a mod
 	invTab  []int // multiplicative inverses (invTab[0] unused)
+	negTab  []int // additive inverses, so Neg is a table lookup on the hot path
 }
 
 // New constructs GF(q). q must be a prime power not exceeding MaxOrder.
@@ -53,6 +54,7 @@ func New(q int) (*Field, error) {
 	if err := f.buildLogTables(mulTab); err != nil {
 		return nil, err
 	}
+	f.buildNegTable()
 	return f, nil
 }
 
@@ -307,11 +309,20 @@ func (f *Field) Neg(a int) int {
 	if !f.valid(a) {
 		panic(ErrNotElement)
 	}
-	d := f.digits(a)
-	for i := range d {
-		d[i] = (f.p - d[i]) % f.p
+	return f.negTab[a]
+}
+
+// buildNegTable precomputes additive inverses (digitwise mod-p negation),
+// keeping Neg allocation-free on the subspace-reduction hot path.
+func (f *Field) buildNegTable() {
+	f.negTab = make([]int, f.q)
+	for a := 0; a < f.q; a++ {
+		d := f.digits(a)
+		for i := range d {
+			d[i] = (f.p - d[i]) % f.p
+		}
+		f.negTab[a] = f.fromDigits(d)
 	}
-	return f.fromDigits(d)
 }
 
 // Sub returns a − b.

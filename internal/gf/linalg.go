@@ -211,6 +211,14 @@ func (s *Subspace) Contains(v Vec) (bool, error) {
 // reduce eliminates v against the basis rows and returns the residual.
 func (s *Subspace) reduce(v Vec) (Vec, error) {
 	r := v.Clone()
+	s.reduceInPlace(r)
+	return r, nil
+}
+
+// reduceInPlace eliminates r against the basis rows, overwriting r with the
+// residual. It performs no allocation: the row operations are applied
+// coordinate by coordinate instead of through AddScaled.
+func (s *Subspace) reduceInPlace(r Vec) {
 	for _, row := range s.basis {
 		// Pivot column of an RREF row is its first nonzero entry.
 		pc := pivotCol(row)
@@ -218,13 +226,23 @@ func (s *Subspace) reduce(v Vec) (Vec, error) {
 			continue
 		}
 		c := s.field.Neg(r[pc])
-		var err error
-		r, err = s.field.AddScaled(r, c, row)
-		if err != nil {
-			return nil, err
+		for i := range r {
+			r[i] = s.field.Add(r[i], s.field.Mul(c, row[i]))
 		}
 	}
-	return r, nil
+}
+
+// ContainsBuf reports whether v ∈ s like Contains, but uses the caller's
+// scratch buffer (length k) for the reduction instead of cloning v, so the
+// per-event membership tests in the coded simulator stay allocation-free.
+// v is not modified; scratch's contents are overwritten.
+func (s *Subspace) ContainsBuf(v, scratch Vec) (bool, error) {
+	if len(v) != s.k || len(scratch) != s.k {
+		return false, ErrDimMismatch
+	}
+	copy(scratch, v)
+	s.reduceInPlace(scratch)
+	return scratch.IsZero(), nil
 }
 
 // Add returns the subspace s + span{v}. The receiver is not modified; the
@@ -316,17 +334,30 @@ type randSource interface {
 // combination of the basis with independent uniform coefficients. This is
 // exactly what a coded peer transmits when contacted.
 func (s *Subspace) RandomVector(r randSource) Vec {
-	v := make(Vec, s.k)
+	return s.RandomVectorInto(r, make(Vec, s.k))
+}
+
+// RandomVectorInto is RandomVector writing into the caller's buffer (which
+// must have length k), consuming the identical variate sequence — one
+// coefficient per basis row — so swapping it in never changes a
+// realization. It returns dst for chaining.
+func (s *Subspace) RandomVectorInto(r randSource, dst Vec) Vec {
+	if len(dst) != s.k {
+		panic(ErrDimMismatch)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
 	for _, row := range s.basis {
 		c := r.Intn(s.field.Order())
 		if c == 0 {
 			continue
 		}
-		for i := range v {
-			v[i] = s.field.Add(v[i], s.field.Mul(c, row[i]))
+		for i := range dst {
+			dst[i] = s.field.Add(dst[i], s.field.Mul(c, row[i]))
 		}
 	}
-	return v
+	return dst
 }
 
 // UsefulProbability returns the probability that a uniformly random vector

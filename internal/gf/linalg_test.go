@@ -429,3 +429,99 @@ func TestAllSubspacesGuards(t *testing.T) {
 		t.Error("enumeration limit not enforced")
 	}
 }
+
+func TestContainsBufMatchesContains(t *testing.T) {
+	f := MustNew(4)
+	s, err := SpanOf(f, 5, Vec{1, 2, 3, 0, 1}, Vec{0, 1, 1, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make(Vec, 5)
+	r := rng.New(404)
+	for i := 0; i < 500; i++ {
+		v := make(Vec, 5)
+		if i%3 == 0 {
+			v = s.RandomVector(r) // guaranteed members mixed in
+		} else {
+			for j := range v {
+				v[j] = r.Intn(f.Order())
+			}
+		}
+		want, err := s.Contains(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.ContainsBuf(v, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("ContainsBuf(%v) = %v, Contains = %v", v, got, want)
+		}
+	}
+}
+
+func TestContainsBufDimMismatch(t *testing.T) {
+	f := MustNew(2)
+	s, _ := SpanOf(f, 3, Vec{1, 0, 1})
+	if _, err := s.ContainsBuf(Vec{1, 0}, make(Vec, 3)); !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("short vector: err = %v, want ErrDimMismatch", err)
+	}
+	if _, err := s.ContainsBuf(Vec{1, 0, 1}, make(Vec, 2)); !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("short scratch: err = %v, want ErrDimMismatch", err)
+	}
+}
+
+func TestRandomVectorIntoMatchesRandomVector(t *testing.T) {
+	f := MustNew(8)
+	s, err := SpanOf(f, 4, Vec{1, 2, 3, 0}, Vec{0, 1, 1, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two RNGs with the same seed must stay in lockstep: RandomVectorInto
+	// consumes exactly the variates RandomVector does.
+	ra, rb := rng.New(77), rng.New(77)
+	dst := make(Vec, 4)
+	for i := 0; i < 300; i++ {
+		want := s.RandomVector(ra)
+		got := s.RandomVectorInto(rb, dst)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("draw %d: Into = %v, RandomVector = %v", i, got, want)
+			}
+		}
+	}
+	if ra.Uint64() != rb.Uint64() {
+		t.Error("RNG streams desynchronized")
+	}
+}
+
+func TestRandomVectorIntoBadLen(t *testing.T) {
+	f := MustNew(2)
+	s, _ := SpanOf(f, 3, Vec{1, 0, 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on wrong dst length")
+		}
+	}()
+	s.RandomVectorInto(rng.New(1), make(Vec, 2))
+}
+
+func TestScratchPrimitivesAllocFree(t *testing.T) {
+	f := MustNew(16)
+	s, err := SpanOf(f, 6, Vec{1, 2, 3, 4, 5, 6}, Vec{0, 1, 7, 7, 1, 0}, Vec{0, 0, 1, 9, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := s.RandomVector(rng.New(9))
+	scratch := make(Vec, 6)
+	r := rng.New(10)
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := s.ContainsBuf(v, scratch); err != nil {
+			t.Fatal(err)
+		}
+		s.RandomVectorInto(r, scratch)
+	}); n != 0 {
+		t.Errorf("ContainsBuf+RandomVectorInto allocate %v/op, want 0", n)
+	}
+}

@@ -314,10 +314,10 @@ func (p Params) Transitions(x State) ([]Transition, error) {
 		if c == full {
 			continue
 		}
-		for _, i := range c.Complement(p.K).Pieces() {
+		c.Complement(p.K).ForEach(func(i int) {
 			rate := p.UploadRate(x, c, i)
 			if rate <= 0 {
-				continue
+				return
 			}
 			target := c.With(i)
 			next := x.Clone()
@@ -331,7 +331,7 @@ func (p Params) Transitions(x State) ([]Transition, error) {
 			out = append(out, Transition{
 				Rate: rate, Next: next, Kind: kind, Type: c, Piece: i,
 			})
-		}
+		})
 	}
 	return out, nil
 }

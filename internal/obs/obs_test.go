@@ -321,3 +321,96 @@ func TestSetComposition(t *testing.T) {
 		t.Error("zero set not empty")
 	}
 }
+
+// TestSojournSlabMatchesMap drives the identical arrival/departure stream
+// through Arrive/Depart and Admit/Release trackers and checks every emitted
+// statistic agrees: the slab is a tag representation, not a new estimator.
+func TestSojournSlabMatchesMap(t *testing.T) {
+	r := rng.New(31)
+	m := NewSojourn("s")
+	slab := NewSojourn("s")
+	open := map[uint64]uint64{} // map tag → slab tag
+	clock := 0.0
+	nextTag := uint64(0)
+	for i := 0; i < 5000; i++ {
+		clock += r.Exp(1)
+		if len(open) == 0 || r.Float64() < 0.55 {
+			tag := nextTag
+			nextTag++
+			m.Arrive(tag, clock)
+			open[tag] = slab.Admit(clock)
+		} else {
+			// Depart an arbitrary open entity (map iteration order is
+			// fine: both trackers see the same one).
+			for tag, st := range open {
+				m.Depart(tag, clock)
+				slab.Release(st, clock)
+				delete(open, tag)
+				break
+			}
+		}
+	}
+	if m.Open() != slab.Open() || m.Arrivals() != slab.Arrivals() {
+		t.Fatalf("counts diverge: open %d/%d arrivals %d/%d",
+			m.Open(), slab.Open(), m.Arrivals(), slab.Arrivals())
+	}
+	var a, b Snapshot
+	m.Seal(clock)
+	slab.Seal(clock)
+	m.EmitTo(&a)
+	slab.EmitTo(&b)
+	for k, v := range a.Values {
+		if b.Values[k] != v {
+			t.Errorf("%s: map %v slab %v", k, v, b.Values[k])
+		}
+	}
+}
+
+func TestSojournSlabStaleTag(t *testing.T) {
+	s := NewSojourn("s")
+	tag := s.Admit(0)
+	s.Release(tag, 1)
+	for _, f := range []func(){
+		func() { s.Release(tag, 2) },          // doubled release
+		func() { s.Release(uint64(99), 2) },   // never-issued slot
+		func() { s.Admit(3); s.Release(tag, 4) }, // slot reused, old generation
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("stale slab tag did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestSojournSlabAllocFree pins the point of the slab mode: once the slot
+// array has grown to the peak population, Admit/Release never allocate.
+func TestSojournSlabAllocFree(t *testing.T) {
+	s := NewSojourn("s")
+	tags := make([]uint64, 0, 64)
+	// Warm up: grow the slab and the free list to their working sizes.
+	for i := 0; i < 64; i++ {
+		tags = append(tags, s.Admit(float64(i)))
+	}
+	for _, tag := range tags {
+		s.Release(tag, 100)
+	}
+	tags = tags[:0]
+	clock := 200.0
+	if n := testing.AllocsPerRun(500, func() {
+		for i := 0; i < 32; i++ {
+			clock++
+			tags = append(tags, s.Admit(clock))
+		}
+		for _, tag := range tags {
+			clock++
+			s.Release(tag, clock)
+		}
+		tags = tags[:0]
+	}); n != 0 {
+		t.Errorf("slab Admit/Release allocate %v/op, want 0", n)
+	}
+}

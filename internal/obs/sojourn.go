@@ -18,9 +18,19 @@ import (
 // Sojourn is fed by the process, not by the kernel event stream — arrivals
 // and departures are semantic process events, not kernel event classes —
 // so its OnEvent is a no-op; it rides in a Set for sealing and emission.
+// Two tagging modes share the statistics. Arrive/Depart pair caller-chosen
+// tags through a map — flexible, but each arrival allocates. Admit/Release
+// instead hand out dense slab tags (generation<<32 | slot) backed by flat
+// arrays with a LIFO free list, so a simulator that tracks every peer stays
+// allocation-free once the slab has grown to the peak population. The modes
+// may be mixed on one tracker; only the tag bookkeeping differs.
 type Sojourn struct {
 	name     string
-	open     map[uint64]float64 // tag → arrival time
+	open     map[uint64]float64 // caller tag → arrival time (Arrive/Depart mode)
+	slabTime []float64          // slot → arrival time (Admit/Release mode)
+	slabGen  []uint32           // slot → current generation; bumped on release
+	slabFree []int              // LIFO free slots
+	slabOpen int                // live slab entries
 	w        dist.Summary       // durations of departed entities
 	median   *dist.P2
 	p90      *dist.P2
@@ -53,7 +63,7 @@ func (s *Sojourn) observeWindow(t float64) {
 		s.t0 = t
 	}
 	s.t1 = t
-	s.occ.Observe(t, float64(len(s.open)))
+	s.occ.Observe(t, float64(len(s.open)+s.slabOpen))
 }
 
 // Arrive records that the entity with the given tag entered at time t.
@@ -82,14 +92,55 @@ func (s *Sojourn) Depart(tag uint64, t float64) {
 	s.observeWindow(t)
 }
 
+// Admit records an arrival at time t and returns a tracker-issued slab tag
+// for the entity, the allocation-free alternative to Arrive: slots are flat
+// array indices reused LIFO, so beyond the peak population the call never
+// touches the heap. The tag must later be passed to Release, not Depart.
+func (s *Sojourn) Admit(t float64) uint64 {
+	var slot int
+	if n := len(s.slabFree); n > 0 {
+		slot = s.slabFree[n-1]
+		s.slabFree = s.slabFree[:n-1]
+	} else {
+		slot = len(s.slabTime)
+		s.slabTime = append(s.slabTime, 0)
+		s.slabGen = append(s.slabGen, 0)
+	}
+	s.slabTime[slot] = t
+	s.slabOpen++
+	s.arrivals++
+	s.observeWindow(t)
+	return uint64(s.slabGen[slot])<<32 | uint64(slot)
+}
+
+// Release records that the entity tagged by Admit left at time t and folds
+// its duration into the statistics. The slot's generation is retired, so a
+// stale or doubled Release panics just as Depart does for unknown tags.
+func (s *Sojourn) Release(tag uint64, t float64) {
+	slot := int(tag & (1<<32 - 1))
+	gen := uint32(tag >> 32)
+	if slot >= len(s.slabTime) || s.slabGen[slot] != gen {
+		panic(fmt.Sprintf("obs: sojourn %q released stale slab tag %d", s.name, tag))
+	}
+	s.slabGen[slot]++
+	s.slabFree = append(s.slabFree, slot)
+	s.slabOpen--
+	d := t - s.slabTime[slot]
+	s.w.Add(d)
+	s.median.Observe(d)
+	s.p90.Observe(d)
+	s.observeWindow(t)
+}
+
 // Seal implements Sealer: close the occupancy integral at the end time.
 func (s *Sojourn) Seal(t float64) { s.observeWindow(t) }
 
 // Arrivals returns the number of arrivals observed.
 func (s *Sojourn) Arrivals() int { return s.arrivals }
 
-// Open returns the number of entities currently in the system.
-func (s *Sojourn) Open() int { return len(s.open) }
+// Open returns the number of entities currently in the system, across both
+// tagging modes.
+func (s *Sojourn) Open() int { return len(s.open) + s.slabOpen }
 
 // Durations returns the Welford summary of departed-entity sojourns — the
 // W of Little's law (its Mean) plus spread.

@@ -15,6 +15,7 @@ package peersim
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/dist"
 	"repro/internal/kernel"
@@ -31,14 +32,15 @@ var ErrNoProgress = kernel.ErrNoProgress
 // notCompleted marks a peer that has not yet collected all pieces.
 const notCompleted = -1
 
-// peer is one tracked participant.
-type peer struct {
-	set       pieceset.Set
-	tag       uint64 // sojourn-tracker tag, unique for the swarm's lifetime
+// peerMeta is the cold per-peer bookkeeping, kept out of the contact path's
+// cache footprint: it is touched on arrival, completion, and departure only.
+// The hot state — the peer's piece set — lives in its own flat array.
+type peerMeta struct {
+	tag       uint64 // sojourn-tracker slab tag
 	arrived   float64
 	completed float64 // notCompleted until the last piece arrives
-	uploads   int
-	seedPos   int // index into seedIdx, or -1
+	uploads   int32
+	seedPos   int32 // index into seedIdx, or -1
 }
 
 // Option configures the swarm.
@@ -49,6 +51,7 @@ type config struct {
 	rng      *rng.RNG
 	policy   sim.Policy
 	scenario kernel.Scenario
+	initial  map[pieceset.Set]int
 }
 
 // WithSeed sets the RNG seed (default 1).
@@ -77,6 +80,19 @@ func WithPolicy(p sim.Policy) Option { return func(c *config) { c.policy = p } }
 // never contribute download or dwell times.
 func WithScenario(s kernel.Scenario) Option { return func(c *config) { c.scenario = s } }
 
+// WithInitialPeers seeds the swarm with pre-existing peers by type at time
+// zero (they count as arrivals for the sojourn tracker), mirroring
+// sim.WithInitialPeers; large-N benchmarks use it to reach steady state
+// without replaying the growth phase. The map is copied.
+func WithInitialPeers(counts map[pieceset.Set]int) Option {
+	return func(c *config) {
+		c.initial = make(map[pieceset.Set]int, len(counts))
+		for k, v := range counts {
+			c.initial[k] = v
+		}
+	}
+}
+
 // Event classes, in fixed kernel order.
 const (
 	evArrival = iota
@@ -95,23 +111,31 @@ type Swarm struct {
 	k        *kernel.Kernel
 	full     pieceset.Set
 
-	peers   []peer
+	// Peer state is laid out structure-of-arrays: sets is the only array
+	// the contact path reads (one 32-bit word per peer, so a million-peer
+	// swarm's hot state is ~4 MB and largely cache-resident), while meta
+	// holds the cold bookkeeping in a parallel array. Swap-deletes move
+	// both rows.
+	sets    []pieceset.Set
+	meta    []peerMeta
 	seedIdx []int // indices of completed peers (peer seeds)
 	pieces  []int // holders per piece
 
 	arrivalTypes   []pieceset.Set
 	arrivalWeights []float64
-	lambdaTotal    float64 // Σ λ_C in sorted type order, cached off the event path
+	arrivalPicker  *rng.Picker // prefix-cached λ weights: no per-arrival rescan
+	lambdaTotal    float64     // Σ λ_C in sorted type order, cached off the event path
+
+	holdersFn sim.HolderCount // cached method value: no closure alloc per transfer
 
 	// Departed-peer statistics. Sojourn times (arrival → departure) route
 	// through the observation layer's tag-based tracker, which also carries
 	// streaming quantiles and the Little's-law view (L, λ, W). The tracker
 	// is always on — unlike the gated kernel tap — because per-peer pairing
-	// must start at the first arrival to be offered later, and peersim is
-	// the per-peer reference simulator: the map upkeep is part of its
-	// fidelity budget (internal/sim remains the lean instability tool).
+	// must start at the first arrival to be offered later. It runs in the
+	// tracker's slab mode (Admit/Release), so the always-on pairing costs
+	// no allocation past the peak population.
 	sojourn       *obs.Sojourn
-	nextTag       uint64
 	downloadTimes dist.Summary // arrival → completion
 	dwellTimes    dist.Summary // completion → departure (γ < ∞ only)
 	uploadsMade   dist.Summary // uploads contributed per departed peer
@@ -142,10 +166,36 @@ func New(p model.Params, opts ...Option) (*Swarm, error) {
 		pieces:   make([]int, p.K),
 		sojourn:  obs.NewSojourn("sojourn"),
 	}
+	s.holdersFn = s.Holders
 	for _, c := range p.ArrivalTypes() {
 		s.arrivalTypes = append(s.arrivalTypes, c)
 		s.arrivalWeights = append(s.arrivalWeights, p.Lambda[c])
-		s.lambdaTotal += p.Lambda[c]
+	}
+	picker, err := rng.NewPicker(s.arrivalWeights)
+	if err != nil {
+		return nil, fmt.Errorf("peersim: %w", err)
+	}
+	s.arrivalPicker = picker
+	s.lambdaTotal = picker.Total()
+	// Insert initial peers in sorted type order: peer indices are state
+	// here (uniform contact picks by index), so map iteration order must
+	// not leak into the realization.
+	initialTypes := make([]pieceset.Set, 0, len(cfg.initial))
+	for c := range cfg.initial {
+		initialTypes = append(initialTypes, c)
+	}
+	sort.Slice(initialTypes, func(i, j int) bool { return initialTypes[i] < initialTypes[j] })
+	for _, c := range initialTypes {
+		count := cfg.initial[c]
+		if count < 0 || !c.SubsetOf(s.full) {
+			return nil, fmt.Errorf("peersim: invalid initial peers %v x %d", c, count)
+		}
+		if c == s.full && p.GammaInf() {
+			return nil, errors.New("peersim: initial peer seeds impossible when γ = ∞")
+		}
+		for i := 0; i < count; i++ {
+			s.addPeer(c)
+		}
 	}
 	s.k = kernel.New(s.r, s)
 	return s, nil
@@ -154,8 +204,17 @@ func New(p model.Params, opts ...Option) (*Swarm, error) {
 // Now returns the simulated time.
 func (s *Swarm) Now() float64 { return s.k.Now() }
 
+// now is Now tolerating the construction window before the kernel exists
+// (initial peers arrive at time zero).
+func (s *Swarm) now() float64 {
+	if s.k == nil {
+		return 0
+	}
+	return s.k.Now()
+}
+
 // N returns the population.
-func (s *Swarm) N() int { return len(s.peers) }
+func (s *Swarm) N() int { return len(s.sets) }
 
 // PeerSeeds returns the number of completed peers still in the system.
 func (s *Swarm) PeerSeeds() int { return len(s.seedIdx) }
@@ -203,58 +262,63 @@ func (s *Swarm) Sojourn() *obs.Sojourn { return s.sojourn }
 func (s *Swarm) UploadsPerPeer() *dist.Summary { return &s.uploadsMade }
 
 // TypeCounts aggregates the live peers by type, for cross-validation with
-// the type-count simulator.
+// the type-count simulator. It allocates a fresh map per call; repeated
+// snapshots at large N use TypeCountsInto with a reused map.
 func (s *Swarm) TypeCounts() map[pieceset.Set]int {
-	out := make(map[pieceset.Set]int)
-	for i := range s.peers {
-		out[s.peers[i].set]++
+	return s.TypeCountsInto(make(map[pieceset.Set]int))
+}
+
+// TypeCountsInto clears dst, fills it with the live per-type counts, and
+// returns it.
+func (s *Swarm) TypeCountsInto(dst map[pieceset.Set]int) map[pieceset.Set]int {
+	clear(dst)
+	for _, c := range s.sets {
+		dst[c]++
 	}
-	return out
+	return dst
 }
 
 // addPeer admits a peer of the given type at the current time, registering
-// its arrival with the sojourn tracker under a fresh tag.
+// its arrival with the sojourn tracker under a slab tag.
 func (s *Swarm) addPeer(c pieceset.Set) {
-	p := peer{set: c, tag: s.nextTag, arrived: s.k.Now(), completed: notCompleted, seedPos: -1}
-	s.nextTag++
-	s.sojourn.Arrive(p.tag, p.arrived)
+	now := s.now()
+	m := peerMeta{tag: s.sojourn.Admit(now), arrived: now, completed: notCompleted, seedPos: -1}
 	if c == s.full {
-		p.completed = s.k.Now()
-		p.seedPos = len(s.seedIdx)
-		s.seedIdx = append(s.seedIdx, len(s.peers))
+		m.completed = now
+		m.seedPos = int32(len(s.seedIdx))
+		s.seedIdx = append(s.seedIdx, len(s.sets))
 	}
-	s.peers = append(s.peers, p)
-	for _, pc := range c.Pieces() {
-		s.pieces[pc-1]++
-	}
+	s.sets = append(s.sets, c)
+	s.meta = append(s.meta, m)
+	c.ForEach(func(pc int) { s.pieces[pc-1]++ })
 }
 
 // removePeer removes peer i with swap-delete, recording its statistics.
 func (s *Swarm) removePeer(i int) {
-	p := s.peers[i]
+	m := s.meta[i]
 	s.departed++
-	s.sojourn.Depart(p.tag, s.k.Now())
-	if p.completed != notCompleted {
-		s.downloadTimes.Add(p.completed - p.arrived)
+	s.sojourn.Release(m.tag, s.k.Now())
+	if m.completed != notCompleted {
+		s.downloadTimes.Add(m.completed - m.arrived)
 		if !s.params.GammaInf() {
-			s.dwellTimes.Add(s.k.Now() - p.completed)
+			s.dwellTimes.Add(s.k.Now() - m.completed)
 		}
 	}
-	s.uploadsMade.Add(float64(p.uploads))
-	for _, pc := range p.set.Pieces() {
-		s.pieces[pc-1]--
+	s.uploadsMade.Add(float64(m.uploads))
+	s.sets[i].ForEach(func(pc int) { s.pieces[pc-1]-- })
+	if m.seedPos >= 0 {
+		s.unregisterSeed(int(m.seedPos))
 	}
-	if p.seedPos >= 0 {
-		s.unregisterSeed(p.seedPos)
-	}
-	last := len(s.peers) - 1
+	last := len(s.sets) - 1
 	if i != last {
-		s.peers[i] = s.peers[last]
-		if s.peers[i].seedPos >= 0 {
-			s.seedIdx[s.peers[i].seedPos] = i
+		s.sets[i] = s.sets[last]
+		s.meta[i] = s.meta[last]
+		if s.meta[i].seedPos >= 0 {
+			s.seedIdx[s.meta[i].seedPos] = i
 		}
 	}
-	s.peers = s.peers[:last]
+	s.sets = s.sets[:last]
+	s.meta = s.meta[:last]
 }
 
 // unregisterSeed removes entry pos from seedIdx with swap-delete.
@@ -262,17 +326,17 @@ func (s *Swarm) unregisterSeed(pos int) {
 	last := len(s.seedIdx) - 1
 	if pos != last {
 		s.seedIdx[pos] = s.seedIdx[last]
-		s.peers[s.seedIdx[pos]].seedPos = pos
+		s.meta[s.seedIdx[pos]].seedPos = int32(pos)
 	}
 	s.seedIdx = s.seedIdx[:last]
 }
 
 // Population implements kernel.Process.
-func (s *Swarm) Population() float64 { return float64(len(s.peers)) }
+func (s *Swarm) Population() float64 { return float64(len(s.sets)) }
 
 // Rates implements kernel.Process.
 func (s *Swarm) Rates(buf []float64) []float64 {
-	n := len(s.peers)
+	n := len(s.sets)
 	arrival := s.lambdaTotal * s.scenario.ArrivalBound()
 	seed := 0.0
 	if n > 0 {
@@ -292,21 +356,17 @@ func (s *Swarm) Rates(buf []float64) []float64 {
 
 // Fire implements kernel.Process.
 func (s *Swarm) Fire(class int) error {
-	n := len(s.peers)
+	n := len(s.sets)
 	switch class {
 	case evArrival:
 		if !s.scenario.AcceptArrival(s.r, s.k.Now()) {
 			s.thinned++
 			return nil
 		}
-		idx, err := s.r.Categorical(s.arrivalWeights)
-		if err != nil {
-			panic(fmt.Sprintf("peersim: arrival draw failed on validated weights: %v", err))
-		}
-		s.addPeer(s.arrivalTypes[idx])
+		s.addPeer(s.arrivalTypes[s.arrivalPicker.Pick(s.r)])
 	case evSeedTick:
 		target := s.r.Intn(n)
-		useful := s.peers[target].set.Complement(s.params.K)
+		useful := s.sets[target].Complement(s.params.K)
 		if !useful.IsEmpty() {
 			s.deliver(target, -1, useful)
 		}
@@ -314,7 +374,7 @@ func (s *Swarm) Fire(class int) error {
 		uploader := s.r.Intn(n)
 		target := s.r.Intn(n)
 		if uploader != target {
-			useful := s.peers[uploader].set.Minus(s.peers[target].set)
+			useful := s.sets[uploader].Minus(s.sets[target])
 			if !useful.IsEmpty() {
 				s.deliver(target, uploader, useful)
 			}
@@ -335,12 +395,12 @@ func (s *Swarm) Fire(class int) error {
 // rejection against the seed set (the churn rate is proportional to the
 // incomplete count, so a candidate exists whenever the class fires).
 func (s *Swarm) stepChurn() {
-	if len(s.peers) == len(s.seedIdx) {
+	if len(s.sets) == len(s.seedIdx) {
 		return // round-off fallback fired the class at zero rate
 	}
 	for {
-		i := s.r.Intn(len(s.peers))
-		if s.peers[i].completed == notCompleted {
+		i := s.r.Intn(len(s.sets))
+		if s.meta[i].completed == notCompleted {
 			s.removePeer(i)
 			s.abandoned++
 			return
@@ -362,25 +422,24 @@ func (s *Swarm) Halted() bool { return s.k.TapHalted() }
 // deliver uploads one policy-chosen piece to peer `target`; uploader is the
 // index of the uploading peer or -1 for the fixed seed.
 func (s *Swarm) deliver(target, uploader int, useful pieceset.Set) {
-	piece, err := s.policy.SelectPiece(s.r, useful, s.Holders)
+	piece, err := s.policy.SelectPiece(s.r, useful, s.holdersFn)
 	if err != nil {
 		panic(fmt.Sprintf("peersim: policy failed on non-empty useful set %v: %v", useful, err))
 	}
 	if uploader >= 0 {
-		s.peers[uploader].uploads++
+		s.meta[uploader].uploads++
 	}
-	p := &s.peers[target]
-	p.set = p.set.With(piece)
+	s.sets[target] = s.sets[target].With(piece)
 	s.pieces[piece-1]++
-	if p.set != s.full {
+	if s.sets[target] != s.full {
 		return
 	}
-	p.completed = s.k.Now()
+	s.meta[target].completed = s.k.Now()
 	if s.params.GammaInf() {
 		s.removePeer(target)
 		return
 	}
-	p.seedPos = len(s.seedIdx)
+	s.meta[target].seedPos = int32(len(s.seedIdx))
 	s.seedIdx = append(s.seedIdx, target)
 }
 
@@ -390,7 +449,7 @@ func (s *Swarm) deliver(target, uploader int, useful pieceset.Set) {
 func (s *Swarm) RunUntil(maxTime float64, maxPeers int) error {
 	defer s.k.FlushMetrics() // exact kernel_events_total at run end
 	for s.Now() < maxTime {
-		if maxPeers > 0 && len(s.peers) >= maxPeers {
+		if maxPeers > 0 && len(s.sets) >= maxPeers {
 			return nil
 		}
 		if err := s.Step(); err != nil {

@@ -122,13 +122,32 @@ func (s Set) ProperSubsetOf(t Set) bool { return s != t && s.SubsetOf(t) }
 // uploader's perspective).
 func (s Set) CanHelp(t Set) bool { return s&^t != 0 }
 
-// Pieces returns the sorted piece numbers in s.
+// Pieces returns the sorted piece numbers in s. It allocates a fresh slice
+// on every call; event loops use ForEach (or AppendPieces with a reused
+// buffer) instead, which visit the same pieces in the same order without
+// touching the heap.
 func (s Set) Pieces() []int {
-	out := make([]int, 0, s.Size())
+	return s.AppendPieces(make([]int, 0, s.Size()))
+}
+
+// AppendPieces appends the sorted piece numbers in s to buf and returns it,
+// the reuse-friendly form of Pieces: with cap(buf) ≥ |s| the call does not
+// allocate.
+func (s Set) AppendPieces(buf []int) []int {
 	for m := uint32(s); m != 0; m &= m - 1 {
-		out = append(out, bits.TrailingZeros32(m)+1)
+		buf = append(buf, bits.TrailingZeros32(m)+1)
 	}
-	return out
+	return buf
+}
+
+// ForEach calls fn for every piece in s in increasing order — the same
+// sequence Pieces returns — without allocating. fn is only invoked, never
+// retained, so closure arguments stay on the caller's stack; this is the
+// iterator every per-event path in the simulators uses.
+func (s Set) ForEach(fn func(piece int)) {
+	for m := uint32(s); m != 0; m &= m - 1 {
+		fn(bits.TrailingZeros32(m) + 1)
+	}
 }
 
 // NthPiece returns the i-th smallest piece in s (0-based rank). It returns

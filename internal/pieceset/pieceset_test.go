@@ -252,3 +252,65 @@ func TestQuickNthPiece(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: ForEach visits exactly Pieces(), in the same order.
+func TestQuickForEachMatchesPieces(t *testing.T) {
+	f := func(raw uint32) bool {
+		s := Set(raw) & Full(MaxK)
+		want := s.Pieces()
+		var got []int
+		s.ForEach(func(p int) { got = append(got, p) })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AppendPieces appends exactly Pieces() after existing contents.
+func TestQuickAppendPieces(t *testing.T) {
+	f := func(raw uint32) bool {
+		s := Set(raw) & Full(MaxK)
+		want := s.Pieces()
+		buf := s.AppendPieces([]int{-1})
+		if len(buf) != len(want)+1 || buf[0] != -1 {
+			return false
+		}
+		for i := range want {
+			if buf[i+1] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The per-event iterators must never touch the heap: ForEach with a
+// capturing closure, and AppendPieces within capacity, are allocation-free.
+func TestIteratorAllocFree(t *testing.T) {
+	s := MustOf(1, 4, 7, 19, 30)
+	sum := 0
+	if n := testing.AllocsPerRun(100, func() {
+		s.ForEach(func(p int) { sum += p })
+	}); n != 0 {
+		t.Errorf("ForEach allocates %.1f allocs/op, want 0", n)
+	}
+	buf := make([]int, 0, MaxK)
+	if n := testing.AllocsPerRun(100, func() {
+		buf = s.AppendPieces(buf[:0])
+	}); n != 0 {
+		t.Errorf("AppendPieces allocates %.1f allocs/op, want 0", n)
+	}
+	_ = sum
+}

@@ -213,3 +213,63 @@ func (r *RNG) NormFloat64() float64 {
 		}
 	}
 }
+
+// Picker is a categorical sampler over a fixed weight vector with the total
+// precomputed at construction. Pick draws exactly the index Categorical
+// would draw from the same stream — one Float64 variate mapped through the
+// identical successive-subtraction scan — so swapping one for the other
+// never changes which realization a seed produces. The win is work, not
+// law: Categorical rescans the weights to re-derive the total on every
+// draw, while a Picker does a single selection pass; simulators with static
+// arrival weights build one at construction and keep the event path free of
+// the redundant O(#types) total scan.
+type Picker struct {
+	weights []float64
+	total   float64
+}
+
+// NewPicker validates and captures the weight vector (copied, so later
+// mutation of the argument cannot skew draws). Negative weights are treated
+// as zero, exactly as Categorical does; a vector with no positive weight is
+// rejected with ErrEmptyWeights.
+func NewPicker(weights []float64) (*Picker, error) {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return nil, ErrEmptyWeights
+	}
+	p := &Picker{weights: make([]float64, len(weights)), total: total}
+	copy(p.weights, weights)
+	return p, nil
+}
+
+// Total returns the sum of the positive weights.
+func (p *Picker) Total() float64 { return p.total }
+
+// Pick draws index i with probability weights[i] / total, consuming one
+// uniform variate. The scan mirrors Categorical's selection loop term for
+// term (same float additions in the same order), keeping the two samplers
+// bit-identical on a shared stream.
+func (p *Picker) Pick(r *RNG) int {
+	u := r.Float64() * p.total
+	for i, w := range p.weights {
+		if w <= 0 {
+			continue
+		}
+		u -= w
+		if u < 0 {
+			return i
+		}
+	}
+	// Guard against floating point round-off: return last positive index.
+	for i := len(p.weights) - 1; i >= 0; i-- {
+		if p.weights[i] > 0 {
+			return i
+		}
+	}
+	return 0 // unreachable: construction guarantees a positive weight
+}

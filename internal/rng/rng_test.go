@@ -239,3 +239,73 @@ func TestQuickBernoulliExtremes(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Picker must be bit-identical to Categorical on a shared stream: same
+// variate consumption, same index for every draw.
+func TestPickerMatchesCategorical(t *testing.T) {
+	weights := [][]float64{
+		{1},
+		{0.3, 0.7},
+		{2, 0, 1, -3, 5},
+		{1e-9, 1e9, 1e-9},
+		{0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1},
+	}
+	for _, w := range weights {
+		p, err := NewPicker(w)
+		if err != nil {
+			t.Fatalf("NewPicker(%v): %v", w, err)
+		}
+		a, b := New(99), New(99)
+		for i := 0; i < 10_000; i++ {
+			want, err := a.Categorical(w)
+			if err != nil {
+				t.Fatalf("Categorical(%v): %v", w, err)
+			}
+			if got := p.Pick(b); got != want {
+				t.Fatalf("draw %d of %v: Pick = %d, Categorical = %d", i, w, got, want)
+			}
+		}
+		// The streams must stay in lockstep: both consumed one variate per draw.
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("weights %v: Picker consumed a different number of variates", w)
+		}
+	}
+}
+
+func TestPickerRejectsEmptyWeights(t *testing.T) {
+	for _, w := range [][]float64{nil, {}, {0}, {-1, 0}} {
+		if _, err := NewPicker(w); err == nil {
+			t.Errorf("NewPicker(%v) accepted weights with no positive entry", w)
+		}
+	}
+}
+
+func TestPickerCopiesWeights(t *testing.T) {
+	w := []float64{1, 1}
+	p, err := NewPicker(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w[0] = 0 // mutate after construction; the picker must be unaffected
+	counts := [2]int{}
+	r := New(5)
+	for i := 0; i < 1000; i++ {
+		counts[p.Pick(r)]++
+	}
+	if counts[0] < 400 || counts[1] < 400 {
+		t.Errorf("mutating the source slice skewed draws: %v", counts)
+	}
+}
+
+func TestPickerAllocFree(t *testing.T) {
+	p, err := NewPicker([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(1)
+	sink := 0
+	if n := testing.AllocsPerRun(1000, func() { sink += p.Pick(r) }); n != 0 {
+		t.Errorf("Pick allocates %.1f allocs/op, want 0", n)
+	}
+	_ = sink
+}

@@ -35,7 +35,10 @@ type RecoverySwarm struct {
 
 	arrivalTypes   []pieceset.Set
 	arrivalWeights []float64
-	lambdaTotal    float64 // Σ λ_C in sorted type order, cached off the event path
+	arrivalPicker  *rng.Picker // prefix-cached λ weights: no per-arrival rescan
+	lambdaTotal    float64     // Σ λ_C in sorted type order, cached off the event path
+
+	holdersFn HolderCount // cached method value: no closure alloc per upload
 
 	stats Stats
 }
@@ -79,11 +82,17 @@ func NewRecovery(p model.Params, eta float64, opts ...Option) (*RecoverySwarm, e
 		full:     pieceset.Full(p.K),
 		pieces:   make([]int, p.K),
 	}
+	s.holdersFn = s.Holders
 	for _, c := range p.ArrivalTypes() {
 		s.arrivalTypes = append(s.arrivalTypes, c)
 		s.arrivalWeights = append(s.arrivalWeights, p.Lambda[c])
-		s.lambdaTotal += p.Lambda[c]
 	}
+	picker, err := rng.NewPicker(s.arrivalWeights)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	s.arrivalPicker = picker
+	s.lambdaTotal = picker.Total()
 	for c, count := range cfg.initial {
 		if count < 0 || !c.SubsetOf(s.full) {
 			return nil, fmt.Errorf("sim: invalid initial peers %v x %d", c, count)
@@ -154,17 +163,13 @@ func (s *RecoverySwarm) CountOf(c pieceset.Set) int {
 func (s *RecoverySwarm) add(k speedType) {
 	s.peers.Add(k, 1)
 	s.ticks.Set(k, float64(s.peers.Count(k))*s.tickWeight(k))
-	for _, p := range k.c.Pieces() {
-		s.pieces[p-1]++
-	}
+	k.c.ForEach(func(p int) { s.pieces[p-1]++ })
 }
 
 func (s *RecoverySwarm) remove(k speedType) {
 	s.peers.Add(k, -1)
 	s.ticks.Set(k, float64(s.peers.Count(k))*s.tickWeight(k))
-	for _, p := range k.c.Pieces() {
-		s.pieces[p-1]--
-	}
+	k.c.ForEach(func(p int) { s.pieces[p-1]-- })
 }
 
 // tickWeight is a peer group's contact-clock rate.
@@ -255,11 +260,7 @@ func (s *RecoverySwarm) stepArrival() {
 		s.stats.Thinned++
 		return
 	}
-	idx, err := s.r.Categorical(s.arrivalWeights)
-	if err != nil {
-		panic(fmt.Sprintf("sim: arrival draw failed on validated weights: %v", err))
-	}
-	s.add(speedType{c: s.arrivalTypes[idx]})
+	s.add(speedType{c: s.arrivalTypes[s.arrivalPicker.Pick(s.r)]})
 	s.stats.Arrivals++
 }
 
@@ -329,7 +330,7 @@ func (s *RecoverySwarm) peerTick() {
 // upload moves one target peer up a piece, preserving the target's own
 // clock-speed state (its clock did not tick).
 func (s *RecoverySwarm) upload(target speedType, useful pieceset.Set) {
-	piece, err := s.policy.SelectPiece(s.r, useful, s.Holders)
+	piece, err := s.policy.SelectPiece(s.r, useful, s.holdersFn)
 	if err != nil {
 		panic(fmt.Sprintf("sim: policy failed on non-empty useful set %v: %v", useful, err))
 	}

@@ -136,7 +136,10 @@ type Swarm struct {
 
 	arrivalTypes   []pieceset.Set
 	arrivalWeights []float64
-	lambdaTotal    float64 // Σ λ_C in sorted type order, cached off the event path
+	arrivalPicker  *rng.Picker // prefix-cached λ weights: no per-arrival rescan
+	lambdaTotal    float64     // Σ λ_C in sorted type order, cached off the event path
+
+	holdersFn HolderCount // cached method value: no closure alloc per transfer
 
 	stats Stats
 }
@@ -161,11 +164,17 @@ func New(p model.Params, opts ...Option) (*Swarm, error) {
 		full:     pieceset.Full(p.K),
 		pieces:   make([]int, p.K),
 	}
+	s.holdersFn = s.Holders
 	for _, c := range p.ArrivalTypes() {
 		s.arrivalTypes = append(s.arrivalTypes, c)
 		s.arrivalWeights = append(s.arrivalWeights, p.Lambda[c])
-		s.lambdaTotal += p.Lambda[c]
 	}
+	picker, err := rng.NewPicker(s.arrivalWeights)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	s.arrivalPicker = picker
+	s.lambdaTotal = picker.Total()
 	for c, count := range cfg.initial {
 		if count < 0 || !c.SubsetOf(s.full) {
 			return nil, fmt.Errorf("sim: invalid initial peers %v x %d", c, count)
@@ -238,11 +247,19 @@ func (s *Swarm) MeanPeers() float64 { return s.k.MeanPopulation() }
 // discarding burn-in.
 func (s *Swarm) ResetOccupancy() { s.k.ResetOccupancy() }
 
-// SparseCounts returns a copy of the occupied type counts.
+// SparseCounts returns a copy of the occupied type counts. It allocates a
+// fresh map per call; cross-validation loops at large N use
+// SparseCountsInto with a reused map instead.
 func (s *Swarm) SparseCounts() map[pieceset.Set]int {
-	out := make(map[pieceset.Set]int, s.peers.Occupied())
-	s.peers.Each(func(c pieceset.Set, v int) { out[c] = v })
-	return out
+	return s.SparseCountsInto(make(map[pieceset.Set]int, s.peers.Occupied()))
+}
+
+// SparseCountsInto clears dst, fills it with the occupied type counts, and
+// returns it, letting repeated snapshots reuse one map.
+func (s *Swarm) SparseCountsInto(dst map[pieceset.Set]int) map[pieceset.Set]int {
+	clear(dst)
+	s.peers.Each(func(c pieceset.Set, v int) { dst[c] = v })
+	return dst
 }
 
 // Snapshot returns the dense model.State (for the exact solver and the
@@ -259,17 +276,13 @@ func (s *Swarm) Snapshot() (model.State, error) {
 // addPeers inserts count peers of type c, maintaining indexes.
 func (s *Swarm) addPeers(c pieceset.Set, count int) {
 	s.peers.Add(c, count)
-	for _, p := range c.Pieces() {
-		s.pieces[p-1] += count
-	}
+	c.ForEach(func(p int) { s.pieces[p-1] += count })
 }
 
 // removePeer removes one peer of type c, maintaining indexes.
 func (s *Swarm) removePeer(c pieceset.Set) {
 	s.peers.Add(c, -1)
-	for _, p := range c.Pieces() {
-		s.pieces[p-1]--
-	}
+	c.ForEach(func(p int) { s.pieces[p-1]-- })
 }
 
 // pickPeerType returns the type of a uniformly random peer in
@@ -343,13 +356,7 @@ func (s *Swarm) stepArrival() {
 		s.stats.Thinned++
 		return
 	}
-	idx, err := s.r.Categorical(s.arrivalWeights)
-	if err != nil {
-		// Validated params guarantee a positive total weight; reaching this
-		// is an invariant violation that must not corrupt tables silently.
-		panic(fmt.Sprintf("sim: arrival draw failed on validated weights: %v", err))
-	}
-	s.addPeers(s.arrivalTypes[idx], 1)
+	s.addPeers(s.arrivalTypes[s.arrivalPicker.Pick(s.r)], 1)
 	s.stats.Arrivals++
 }
 
@@ -380,7 +387,7 @@ func (s *Swarm) stepPeerTick() {
 // transfer moves one target-type peer up by one policy-chosen piece,
 // handling γ = ∞ instant departures.
 func (s *Swarm) transfer(target, useful pieceset.Set) {
-	piece, err := s.policy.SelectPiece(s.r, useful, s.Holders)
+	piece, err := s.policy.SelectPiece(s.r, useful, s.holdersFn)
 	if err != nil {
 		// Policies never fail on the non-empty sets the callers guarantee.
 		panic(fmt.Sprintf("sim: policy failed on non-empty useful set %v: %v", useful, err))
