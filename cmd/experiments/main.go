@@ -71,7 +71,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		FlashPeak: *flashPeak, Churn: *churn,
 	}
 	if *verbose {
-		cfg.Progress = cli.NewHeartbeat(os.Stderr, "experiments", "replicas").Observe
+		hb := cli.NewHeartbeat(os.Stderr, "experiments", "replicas")
+		cfg.Progress = hb.Observe
+		defer hb.Finish()
 	}
 
 	var selected []exp.Experiment

@@ -1,7 +1,7 @@
 // Command p2psim runs replicated sample paths of the P2P swarm CTMC
 // through the parallel Monte-Carlo engine and the streaming observation
 // pipeline: a decimated trace of the population / peer seeds / one-club /
-// missing-piece trajectory (-trace, on by default), streaming P²
+// missing-piece trajectory (-traj, on by default), streaming P²
 // population quantiles (-quantiles), per-replica structured JSONL records
 // (-jsonl), and summary statistics alongside the Theorem 1 verdict for the
 // same parameters. Output is byte-identical for any -parallel value at a
@@ -13,6 +13,8 @@
 //	p2psim -k 2 -lambda0 3 -replicas 8 -parallel 4 -quantiles -jsonl records.jsonl
 //	p2psim -replicas 64 -v -metrics-addr :9090 -report run.json  # heartbeat,
 //	       # live /metrics + pprof while running, end-of-run telemetry report
+//	p2psim -replicas 64 -trace trace.json  # stream a Perfetto-loadable
+//	       # execution trace (inspect with tracetool summarize trace.json)
 package main
 
 import (
@@ -65,7 +67,7 @@ func run(args []string, out io.Writer) error {
 		samples   = fs.Int("samples", 20, "number of decimated trace points")
 		replicas  = fs.Int("replicas", 1, "number of independent replicas")
 		parallel  = fs.Int("parallel", engine.DefaultWorkers(), "engine worker pool size (1 = serial; output is identical either way)")
-		trace     = fs.Bool("trace", true, "attach trajectory observers and print the decimated trace")
+		traj      = fs.Bool("traj", true, "attach trajectory observers and print the decimated trajectory table")
 		quantiles = fs.Bool("quantiles", false, "stream P² population quantiles and print them")
 		jsonl     = fs.String("jsonl", "", "write per-replica structured records (series, marks, scalars) to this JSONL file")
 		csvOut    = fs.Bool("csv", false, "emit the trace as CSV instead of a table")
@@ -104,7 +106,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer tel.Close()
-	needTrace := *trace || *csvOut
+	needTrace := *traj || *csvOut
 
 	backend := &engine.SwarmBackend{
 		Label:   "p2psim",
@@ -153,7 +155,9 @@ func run(args []string, out io.Writer) error {
 		Workers:  *parallel,
 	}
 	if *verbose {
-		job.Progress = cli.NewHeartbeat(os.Stderr, "p2psim", "replicas").Observe
+		hb := cli.NewHeartbeat(os.Stderr, "p2psim", "replicas")
+		job.Progress = hb.Observe
+		defer hb.Finish()
 	}
 	var sinkFile *os.File
 	if *jsonl != "" {
@@ -189,7 +193,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "replicas   : %d\n", *replicas)
 	}
 	fmt.Fprintln(out)
-	if *trace {
+	if *traj {
 		writeTraceTable(out, res.Records[0], *replicas > 1)
 	}
 	writeSummary(out, sys, res, *replicas)

@@ -99,14 +99,14 @@ func TestRunReplicatedDeterministicAcrossWorkers(t *testing.T) {
 
 func TestRunTraceOff(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-horizon", "10", "-trace=false"}, &b); err != nil {
+	if err := run([]string{"-horizon", "10", "-traj=false"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(b.String(), "one-club") {
-		t.Error("-trace=false still printed the trace table")
+		t.Error("-traj=false still printed the trajectory table")
 	}
 	if !strings.Contains(b.String(), "final population") {
-		t.Error("summary missing with -trace=false")
+		t.Error("summary missing with -traj=false")
 	}
 }
 

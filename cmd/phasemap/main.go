@@ -190,7 +190,9 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		}
 	}
 	if *verbose {
-		runner.Progress = cli.NewHeartbeat(errw, "phasemap", "cells").Step
+		hb := cli.NewHeartbeat(errw, "phasemap", "cells")
+		runner.Progress = hb.Step
+		defer hb.Finish()
 	}
 
 	var m *sweep.Map

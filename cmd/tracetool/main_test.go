@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// writeSampleTrace produces a real trace through the producer package, so
+// the test round-trips the actual schema rather than a hand-written fixture.
+func writeSampleTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(trace.Config{Stream: f, Meta: map[string]string{"label": "unit"}})
+	w0 := tr.Track("worker/0")
+	for i := 0; i < 4; i++ {
+		t0 := w0.Now()
+		w0.Span("replica", "engine", t0, int64(i))
+	}
+	w0.Instant("cache.hit", "sweep", 9)
+	eng := tr.Track("engine")
+	j0 := eng.Now()
+	eng.Span("job:unit", "engine", j0, 4)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSummarizeRoundTrip: summarize consumes a trace the producer wrote and
+// reports every stage, track, straggler, and instant in it.
+func TestSummarizeRoundTrip(t *testing.T) {
+	path := writeSampleTrace(t)
+	var b strings.Builder
+	if err := run([]string{"summarize", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"label:       unit",
+		"replica", "job:unit", // span names
+		"worker/0", "engine", // track names
+		"stragglers (top 4 of 4 replica spans)",
+		"cache.hit",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDiffSelf: diffing a trace against itself reports zero deltas and
+// equal counts.
+func TestDiffSelf(t *testing.T) {
+	path := writeSampleTrace(t)
+	var b strings.Builder
+	if err := run([]string{"diff", path, path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "+0.0%") {
+		t.Errorf("self-diff must report +0.0%% deltas:\n%s", out)
+	}
+	if !strings.Contains(out, "cache.hit") {
+		t.Errorf("self-diff missing instants table:\n%s", out)
+	}
+}
+
+// TestUsageErrors: bad invocations fail with a usage error instead of
+// panicking or succeeding silently.
+func TestUsageErrors(t *testing.T) {
+	var b strings.Builder
+	for _, args := range [][]string{
+		{}, {"summarize"}, {"diff", "one.json"}, {"bogus", "x"},
+		{"summarize", filepath.Join(t.TempDir(), "missing.json")},
+	} {
+		if err := run(args, &b); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -39,6 +39,8 @@ type Heartbeat struct {
 	batchBase int
 	lastPrint time.Time
 	lastDone  int
+	lastTotal int
+	printed   bool // the most recent observation reached the writer
 }
 
 // NewHeartbeat builds a heartbeat labeled label printing counts of unit
@@ -68,6 +70,7 @@ func (h *Heartbeat) Step(name string, done, total int) {
 		h.lastPrint = time.Time{}
 	}
 	h.lastDone = done
+	h.lastTotal = total
 
 	if reg := telemetry.Default(); reg != nil {
 		reg.Gauge(telemetry.ProgressDone).Set(int64(done))
@@ -76,13 +79,37 @@ func (h *Heartbeat) Step(name string, done, total int) {
 
 	final := done >= total
 	if !final && !h.lastPrint.IsZero() && now.Sub(h.lastPrint) < h.Every {
+		h.printed = false
 		return
 	}
 	h.lastPrint = now
+	h.printed = true
+	h.print(now, done, total)
+}
 
+// Finish prints the summary line for the last observation when the
+// throttle window swallowed it, so a run always ends with an up-to-date
+// heartbeat — even when it completed faster than Every, or stopped before
+// the final progress callback. Idempotent, and a no-op when nothing was
+// ever observed or the last observation already printed.
+func (h *Heartbeat) Finish() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.batchT.IsZero() || h.printed {
+		return
+	}
+	h.printed = true
+	now := h.now()
+	h.lastPrint = now
+	h.print(now, h.lastDone, h.lastTotal)
+}
+
+// print renders one progress line for the current batch; callers hold mu.
+func (h *Heartbeat) print(now time.Time, done, total int) {
+	final := done >= total
 	label := h.label
-	if name != "" {
-		label = h.label + " " + name
+	if h.batch != "" {
+		label = h.label + " " + h.batch
 	}
 	line := fmt.Sprintf("%s: %d/%d %s (%.0f%%)", label, done, total, h.unit,
 		100*float64(done)/float64(max(total, 1)))

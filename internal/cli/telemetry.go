@@ -4,31 +4,51 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
-// Telemetry bundles the runtime-telemetry flags every cmd binary shares:
+// Telemetry bundles the runtime-observability flags every cmd binary
+// shares:
 //
 //	-metrics-addr HOST:PORT  serve /metrics, /vars, /healthz, /debug/pprof
 //	-report FILE             write the end-of-run report JSON
+//	-trace FILE              stream a Chrome trace-event execution trace
+//	-flight FILE             flight recorder: dump the trace ring tail on anomalies
 //
-// Setting either flag installs a process-wide telemetry registry
-// (telemetry.SetDefault) before the run starts, so the kernel, engine,
-// sweep, and obs layers bind their counters; with both flags empty no
-// registry exists and every instrumentation site stays a nil-check no-op.
-// Telemetry writes only to its HTTP server, the report file, and stderr —
-// never stdout — preserving the byte-identical output contract.
+// Setting -metrics-addr or -report installs a process-wide telemetry
+// registry (telemetry.SetDefault); setting -trace or -flight installs a
+// process-wide tracer (trace.SetDefault) before the run starts, so the
+// kernel, engine, sweep, and obs layers bind their instrumentation
+// handles. With all flags empty neither exists and every instrumentation
+// site stays a nil-check no-op. Both subsystems write only to their HTTP
+// server, their own files, and stderr — never stdout — preserving the
+// byte-identical output contract.
+//
+// Every flag that names a file or address fails fast in Start, before any
+// simulation work: an unwritable -report/-trace/-flight path or an
+// unbindable -metrics-addr aborts the run instead of losing the artifact
+// hours later.
 type Telemetry struct {
 	// Addr is the -metrics-addr value ("" = no HTTP server; port 0 picks
 	// a free port and prints it to stderr).
 	Addr string
 	// ReportPath is the -report value ("" = no report file).
 	ReportPath string
+	// TracePath is the -trace value ("" = no streamed execution trace).
+	TracePath string
+	// FlightPath is the -flight value ("" = no flight recorder).
+	FlightPath string
 
-	label string
-	reg   *telemetry.Registry
-	srv   *telemetry.Server
+	label     string
+	reg       *telemetry.Registry
+	srv       *telemetry.Server
+	tracer    *trace.Tracer
+	traceFile *os.File
+	run       *trace.Buf
+	run0      int64
 }
 
 // RegisterFlags installs the shared flags on fs.
@@ -37,61 +57,127 @@ func (t *Telemetry) RegisterFlags(fs *flag.FlagSet) {
 		"serve /metrics, /vars, /healthz and /debug/pprof on this host:port (empty = off)")
 	fs.StringVar(&t.ReportPath, "report", "",
 		"write an end-of-run telemetry report (events/sec, cache stats, MemStats) to this JSON file")
+	fs.StringVar(&t.TracePath, "trace", "",
+		"stream an execution trace (Chrome trace-event JSON, Perfetto-loadable) to this file (empty = off)")
+	fs.StringVar(&t.FlightPath, "flight", "",
+		"flight recorder: keep trace rings hot and dump their tail to this file on anomalies and at run end (empty = off)")
 }
 
-// Start installs the registry and, when requested, the HTTP server. Call
-// once after flag parsing and before any simulation work; a no-op (and no
-// registry) when both flags are empty. The bound address is announced on
-// errw so -metrics-addr :0 is usable interactively.
+// Start installs the registry/tracer and, when requested, the HTTP server.
+// Call once after flag parsing and before any simulation work; a no-op
+// when every flag is empty. The bound address is announced on errw so
+// -metrics-addr :0 is usable interactively.
 func (t *Telemetry) Start(label string, errw io.Writer) error {
 	t.label = label
-	if t.Addr == "" && t.ReportPath == "" {
+	if t.Addr == "" && t.ReportPath == "" && t.TracePath == "" && t.FlightPath == "" {
 		return nil
 	}
-	t.reg = telemetry.New()
-	// Pre-register the core series so a scrape arriving before the first
-	// kernel or engine job still sees them (at zero) — the CI smoke test
-	// greps /metrics during startup.
-	for _, name := range []string{
-		telemetry.KernelEvents, telemetry.KernelHalts, telemetry.KernelNoProgress,
-		telemetry.EngineJobs, telemetry.EngineReplicasStarted,
-		telemetry.EngineReplicasCompleted, telemetry.EngineReplicasFailed,
-	} {
-		t.reg.Counter(name)
-	}
-	telemetry.SetDefault(t.reg)
-	if t.Addr != "" {
-		srv, err := telemetry.Serve(t.Addr, t.reg)
+	// Fail fast on an unwritable report path; Finish overwrites the
+	// placeholder with the real report.
+	if t.ReportPath != "" {
+		f, err := os.Create(t.ReportPath)
 		if err != nil {
-			telemetry.SetDefault(nil)
-			t.reg = nil
-			return err
+			return fmt.Errorf("telemetry: report: %w", err)
 		}
-		t.srv = srv
-		fmt.Fprintf(errw, "%s: telemetry listening on http://%s/metrics\n", label, srv.Addr())
+		f.Close()
+	}
+	if t.Addr != "" || t.ReportPath != "" {
+		t.reg = telemetry.New()
+		// Pre-register the core series so a scrape arriving before the first
+		// kernel or engine job still sees them (at zero) — the CI smoke test
+		// greps /metrics during startup.
+		for _, name := range []string{
+			telemetry.KernelEvents, telemetry.KernelHalts, telemetry.KernelNoProgress,
+			telemetry.EngineJobs, telemetry.EngineReplicasStarted,
+			telemetry.EngineReplicasCompleted, telemetry.EngineReplicasFailed,
+		} {
+			t.reg.Counter(name)
+		}
+		telemetry.SetDefault(t.reg)
+		if t.Addr != "" {
+			srv, err := telemetry.Serve(t.Addr, t.reg)
+			if err != nil {
+				telemetry.SetDefault(nil)
+				t.reg = nil
+				return err
+			}
+			t.srv = srv
+			fmt.Fprintf(errw, "%s: telemetry listening on http://%s/metrics\n", label, srv.Addr())
+		}
+	}
+	if t.TracePath != "" || t.FlightPath != "" {
+		if t.FlightPath != "" {
+			// The flight dump itself happens at anomaly time via WriteFile;
+			// creating the file now surfaces a bad path before the run.
+			f, err := os.Create(t.FlightPath)
+			if err != nil {
+				t.Close()
+				return fmt.Errorf("telemetry: flight: %w", err)
+			}
+			f.Close()
+		}
+		var stream io.Writer
+		if t.TracePath != "" {
+			f, err := os.Create(t.TracePath)
+			if err != nil {
+				t.Close()
+				return fmt.Errorf("telemetry: trace: %w", err)
+			}
+			t.traceFile = f
+			stream = f
+		}
+		meta := telemetry.Build().Meta()
+		meta["label"] = label
+		t.tracer = trace.New(trace.Config{Stream: stream, FlightPath: t.FlightPath, Meta: meta})
+		trace.SetDefault(t.tracer)
+		// Top-level run span on its own track, closed in Close so the trace
+		// timeline brackets everything the binary did.
+		t.run = t.tracer.Track("run")
+		t.run0 = t.run.Now()
 	}
 	return nil
 }
 
-// Finish writes the run report (when -report was given) and shuts the
-// server down. Call on the success path; Close alone suffices on error
+// Finish writes the run report (when -report was given) and shuts
+// everything down. Call on the success path; Close alone suffices on error
 // paths. Safe to call when Start was a no-op.
 func (t *Telemetry) Finish() error {
+	var firstErr error
 	if t.reg != nil && t.ReportPath != "" {
-		if err := t.reg.WriteReportFile(t.ReportPath, t.label); err != nil {
-			return err
-		}
+		firstErr = t.reg.WriteReportFile(t.ReportPath, t.label)
 	}
-	return t.Close()
+	if err := t.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
-// Close stops the HTTP server and uninstalls the registry. Idempotent.
+// Close stops the HTTP server, uninstalls the registry and tracer, ends
+// the run span, and flushes the trace footer (or final flight dump).
+// Idempotent.
 func (t *Telemetry) Close() error {
 	err := t.srv.Close()
 	t.srv = nil
 	if t.reg != nil {
 		telemetry.SetDefault(nil)
 		t.reg = nil
+	}
+	if t.tracer != nil {
+		if t.run != nil {
+			t.run.Span("run:"+t.label, "cli", t.run0, 0)
+			t.run = nil
+		}
+		trace.SetDefault(nil)
+		if cerr := t.tracer.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		t.tracer = nil
+	}
+	if t.traceFile != nil {
+		if cerr := t.traceFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		t.traceFile = nil
 	}
 	return err
 }

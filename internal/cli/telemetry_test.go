@@ -1,0 +1,165 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// TestHeartbeatFinish: when the run ends inside the throttle window — the
+// last observation was swallowed — Finish forces the summary line out, and
+// stays idempotent when the final line already printed.
+func TestHeartbeatFinish(t *testing.T) {
+	var b strings.Builder
+	h, clk := newTestHeartbeat(&b)
+
+	h.Observe(1, 100) // prints (first observation)
+	clk.advance(time.Millisecond)
+	h.Observe(97, 100) // swallowed: inside the throttle window, not final
+	h.Finish()         // must force the 97/100 summary out
+	h.Finish()         // idempotent
+
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2 (first, forced final):\n%s", len(lines), b.String())
+	}
+	if !strings.Contains(lines[1], "97/100 items (97%)") {
+		t.Errorf("forced final line = %q", lines[1])
+	}
+
+	// A completed batch already printed its final line; Finish adds nothing.
+	b.Reset()
+	h2, clk2 := newTestHeartbeat(&b)
+	h2.Observe(1, 2)
+	clk2.advance(time.Millisecond)
+	h2.Observe(2, 2) // final: prints despite throttle
+	h2.Finish()
+	if n := strings.Count(b.String(), "\n"); n != 2 {
+		t.Errorf("got %d lines, want 2 — Finish must not duplicate the final line:\n%s", n, b.String())
+	}
+
+	// Never observed: Finish stays silent.
+	b.Reset()
+	h3, _ := newTestHeartbeat(&b)
+	h3.Finish()
+	if b.Len() != 0 {
+		t.Errorf("Finish with no observations printed %q", b.String())
+	}
+}
+
+// TestTelemetryFailFast: every flag naming a file or address is validated
+// in Start, before any simulation work runs.
+func TestTelemetryFailFast(t *testing.T) {
+	noSuchDir := filepath.Join(t.TempDir(), "missing", "sub")
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"invalid metrics-addr", []string{"-metrics-addr", "256.0.0.1:bogus"}},
+		{"unwritable report", []string{"-report", filepath.Join(noSuchDir, "r.json")}},
+		{"unwritable trace", []string{"-trace", filepath.Join(noSuchDir, "t.json")}},
+		{"unwritable flight", []string{"-flight", filepath.Join(noSuchDir, "f.json")}},
+	}
+	for _, c := range cases {
+		var tel Telemetry
+		fs := flag.NewFlagSet(c.name, flag.ContinueOnError)
+		tel.RegisterFlags(fs)
+		if err := fs.Parse(c.args); err != nil {
+			t.Fatalf("%s: parse: %v", c.name, err)
+		}
+		if err := tel.Start("unit", io.Discard); err == nil {
+			tel.Close()
+			t.Errorf("%s: Start accepted %v", c.name, c.args)
+		}
+		// A failed Start must leave no process-wide state behind.
+		if telemetry.Default() != nil || trace.Default() != nil {
+			t.Fatalf("%s: failed Start left a registry or tracer installed", c.name)
+		}
+	}
+}
+
+// TestTelemetryTraceLifecycle: -trace installs a tracer, the trace file
+// carries the run span and build metadata, and Finish uninstalls cleanly.
+// -flight alone writes the end-of-run flight dump.
+func TestTelemetryTraceLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	var tel Telemetry
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	tel.RegisterFlags(fs)
+	if err := fs.Parse([]string{"-trace", tracePath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tel.Start("unit", io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if trace.Default() == nil {
+		t.Fatal("Start must install the default tracer")
+	}
+	if telemetry.Default() != nil {
+		t.Error("-trace alone must not install a telemetry registry")
+	}
+	trace.Default().Track("extra").Instant("mark", "test", 7)
+	if err := tel.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if trace.Default() != nil {
+		t.Error("Finish must uninstall the default tracer")
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	var doc struct {
+		OtherData   map[string]string `json:"otherData"`
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if doc.OtherData["label"] != "unit" || doc.OtherData["go_version"] == "" {
+		t.Errorf("otherData missing label/build info: %v", doc.OtherData)
+	}
+	var sawRun, sawMark bool
+	for _, e := range doc.TraceEvents {
+		sawRun = sawRun || e.Name == "run:unit"
+		sawMark = sawMark || e.Name == "mark"
+	}
+	if !sawRun || !sawMark {
+		t.Errorf("trace missing run span (%v) or recorded mark (%v)", sawRun, sawMark)
+	}
+
+	// Flight mode: Close writes the end-of-run dump.
+	flightPath := filepath.Join(dir, "flight.json")
+	var fl Telemetry
+	fs2 := flag.NewFlagSet("flight", flag.ContinueOnError)
+	fl.RegisterFlags(fs2)
+	if err := fs2.Parse([]string{"-flight", flightPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.Start("unit", io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	trace.Default().Track("extra").Instant("mark", "test", 7)
+	if err := fl.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := os.ReadFile(flightPath)
+	if err != nil {
+		t.Fatalf("flight dump not written: %v", err)
+	}
+	if !bytes.Contains(dump, []byte(`"mark"`)) || !bytes.Contains(dump, []byte("end-of-run")) {
+		t.Errorf("flight dump missing recorded events or end-of-run reason:\n%s", dump)
+	}
+}

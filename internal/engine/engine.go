@@ -30,6 +30,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/obs"
 	"repro/internal/rng"
+	"repro/internal/trace"
 )
 
 // Errors reported by the engine.
@@ -285,6 +286,14 @@ func Run(ctx context.Context, job Job) (*Result, error) {
 	if job.Replicas <= 0 {
 		return nil, fmt.Errorf("%w (job %q)", ErrNoWork, job.Name)
 	}
+	// Job-level trace span on the shared "engine" track, covering stream
+	// derivation through aggregation and sink emission (error paths too).
+	var jb *trace.Buf
+	if tr := trace.Default(); tr != nil {
+		jb = tr.Track("engine")
+		job0 := jb.Now()
+		defer func() { jb.Span("job:"+job.Name, "engine", job0, int64(job.Replicas)) }()
+	}
 	seed := job.Seed
 	if seed == 0 {
 		seed = 1
@@ -308,7 +317,14 @@ func Run(ctx context.Context, job Job) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{Job: job.Name, Replicas: job.Replicas, Records: records}
+	var agg0 int64
+	if jb != nil {
+		agg0 = jb.Now()
+	}
 	res.aggregate()
+	if jb != nil {
+		jb.Span("job.aggregate", "engine", agg0, int64(job.Replicas))
+	}
 	if job.Sink != nil {
 		if err := emit(job, res); err != nil {
 			return nil, err

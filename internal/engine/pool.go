@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/rng"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // runPool fans the replicas across the job's worker pool and returns the
@@ -20,8 +21,11 @@ import (
 //
 // When telemetry is enabled the pool records replica lifecycle counts, a
 // per-replica busy-time histogram, queue-wait times, and per-worker
-// busy/idle counters. Instrumentation reads the clock twice per replica
-// and never touches records, streams, or sinks, so it cannot perturb the
+// busy/idle counters; when tracing is enabled it additionally records
+// queue-wait and busy spans per replica, a lifecycle span per worker, and
+// anomaly marks for replica errors and p99 stragglers (trace.go).
+// Instrumentation reads the clock a handful of times per replica and never
+// touches records, streams, or sinks, so it cannot perturb the
 // deterministic outputs.
 func runPool(ctx context.Context, job Job, streams []*rng.RNG) ([]Record, error) {
 	n := len(streams)
@@ -36,6 +40,7 @@ func runPool(ctx context.Context, job Job, streams []*rng.RNG) ([]Record, error)
 	records := make([]Record, n)
 	errs := make([]error, n)
 	met := newPoolMetrics()
+	trc := newPoolTrace(n, workers > 1, met)
 
 	runOne := func(ctx context.Context, i int) {
 		if err := ctx.Err(); err != nil {
@@ -57,16 +62,33 @@ func runPool(ctx context.Context, job Job, streams []*rng.RNG) ([]Record, error)
 		if met != nil {
 			busy, _ = met.workerCounts(0) // the serial worker never idles
 		}
+		var tb *trace.Buf
+		if trc != nil {
+			tb = trc.worker(0)
+		}
 		for i := range streams {
+			var ts0 int64
+			if tb != nil {
+				ts0 = tb.Now()
+			}
+			var d time.Duration
 			if met == nil {
 				runOne(ctx, i)
 			} else {
 				met.started.Inc()
 				t0 := time.Now()
 				runOne(ctx, i)
-				d := time.Since(t0)
+				d = time.Since(t0)
 				busy.Add(uint64(d.Nanoseconds()))
 				met.replicaDone(d, 0, errs[i])
+			}
+			if tb != nil {
+				tb.Span("replica", "engine", ts0, int64(i))
+				if errs[i] != nil {
+					tb.Anomaly("replica.error", int64(i))
+				} else if met != nil {
+					trc.straggler(tb, d, i)
+				}
 			}
 			if errs[i] != nil {
 				return nil, firstError(ctx, errs)
@@ -108,18 +130,44 @@ func runPool(ctx context.Context, job Job, streams []*rng.RNG) ([]Record, error)
 				busyCt, idleCt = met.workerCounts(w)
 				loopStart = time.Now()
 			}
+			var (
+				tb      *trace.Buf
+				loop0   int64
+				handled int64
+			)
+			if trc != nil {
+				tb = trc.worker(w)
+				loop0 = tb.Now()
+			}
 			for i := range indices {
+				var ts0 int64
+				if tb != nil {
+					ts0 = tb.Now()
+					if s := trc.sent[i]; ts0 > s {
+						tb.Span("replica.wait", "engine", s, int64(i))
+					}
+				}
 				var t0 time.Time
 				if met != nil {
 					t0 = time.Now()
 					met.started.Inc()
 				}
 				runOne(poolCtx, i)
+				var d time.Duration
 				if met != nil {
-					d := time.Since(t0)
+					d = time.Since(t0)
 					busyTotal += d
 					busyCt.Add(uint64(d.Nanoseconds()))
 					met.replicaDone(d, t0.Sub(sentAt[i]), errs[i])
+				}
+				if tb != nil {
+					tb.Span("replica", "engine", ts0, int64(i))
+					handled++
+					if errs[i] != nil {
+						tb.Anomaly("replica.error", int64(i))
+					} else if met != nil {
+						trc.straggler(tb, d, i)
+					}
 				}
 				if errs[i] != nil {
 					// Stop handing out work; already-running replicas
@@ -134,6 +182,9 @@ func runPool(ctx context.Context, job Job, streams []*rng.RNG) ([]Record, error)
 					progress.Unlock()
 				}
 			}
+			if tb != nil {
+				tb.Span("worker.loop", "engine", loop0, handled)
+			}
 			if met != nil {
 				if idleT := time.Since(loopStart) - busyTotal; idleT > 0 {
 					idleCt.Add(uint64(idleT.Nanoseconds()))
@@ -145,6 +196,9 @@ feed:
 	for i := range streams {
 		if sentAt != nil {
 			sentAt[i] = time.Now()
+		}
+		if trc != nil {
+			trc.sent[i] = trc.tr.Now()
 		}
 		select {
 		case indices <- i:

@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// Execution tracing in the pool is replica-granular — one wait span and one
+// busy span per replica, one lifecycle span per worker, one aggregation
+// span per job — so it adds at most a handful of ring writes per replica
+// and never touches the kernel's per-event path. Like poolMetrics, a nil
+// *poolTrace (tracing disabled) short-circuits every site to a predictable
+// branch, and spans never feed records, streams, or sinks, so traced and
+// untraced runs emit byte-identical outputs.
+
+// stragglerMinCount is how many replicas the busy histogram must hold
+// before its p99 is treated as a meaningful straggler threshold.
+const stragglerMinCount = 64
+
+// poolTrace holds one job's tracing handles: the tracer for worker-track
+// lookup, the feeder's trace-clock send timestamps (parallel pools only),
+// and the job-wide busy histogram the straggler detector thresholds on
+// (nil when telemetry is off — tracing alone still records spans, just no
+// straggler anomalies).
+type poolTrace struct {
+	tr   *trace.Tracer
+	sent []int64
+	busy *telemetry.Histogram
+}
+
+// newPoolTrace binds the job's tracing handles, or nil when tracing is
+// disabled. parallel pools get the send-timestamp slice for queue-wait
+// spans; the serial path hands replicas straight to the loop, so it has no
+// queue to wait in.
+func newPoolTrace(n int, parallel bool, met *poolMetrics) *poolTrace {
+	tr := trace.Default()
+	if tr == nil {
+		return nil
+	}
+	pt := &poolTrace{tr: tr}
+	if parallel {
+		pt.sent = make([]int64, n)
+	}
+	if met != nil {
+		pt.busy = met.busy
+	}
+	return pt
+}
+
+// worker returns worker w's trace track ("worker/w"), shared by every job
+// in the process so the timeline shows pool reuse.
+func (pt *poolTrace) worker(w int) *trace.Buf {
+	return pt.tr.Track("worker/" + strconv.Itoa(w))
+}
+
+// straggler marks replica i as an anomaly when its busy time reaches the
+// p99 of the job-wide busy histogram — the same histogram /vars reports —
+// once enough replicas have finished for the tail to mean something. In
+// flight-recorder mode the mark dumps the rings, so the trace tail around
+// a straggler is preserved without streaming the whole run.
+func (pt *poolTrace) straggler(b *trace.Buf, busy time.Duration, i int) {
+	if pt.busy == nil || pt.busy.Count() < stragglerMinCount {
+		return
+	}
+	if uint64(busy.Nanoseconds()) >= pt.busy.Quantile(0.99) {
+		b.Anomaly("replica.straggler", int64(i))
+	}
+}

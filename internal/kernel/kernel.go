@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/rng"
+	"repro/internal/trace"
 )
 
 // ErrNoProgress reports a zero total event rate: the chain has no enabled
@@ -85,6 +86,13 @@ type Kernel struct {
 	// the registry — see metrics.go for the batching contract.
 	met        metrics
 	metFlushed uint64
+
+	// trc is the execution-trace ring (nil = tracing disabled); trcMark is
+	// the event count already covered by an emitted batch span and trcT0
+	// the batch's start on the trace clock — see trace.go.
+	trc     *trace.Buf
+	trcMark uint64
+	trcT0   int64
 }
 
 // New builds a kernel driving proc from the given stream and records the
@@ -93,7 +101,10 @@ type Kernel struct {
 // no-progress counters here; binding consumes no randomness and never
 // changes which realization a seed produces.
 func New(r *rng.RNG, proc Process) *Kernel {
-	k := &Kernel{r: r, proc: proc, met: grabMetrics()}
+	k := &Kernel{r: r, proc: proc, met: grabMetrics(), trc: grabTraceBuf()}
+	if k.trc.Live() {
+		k.trcT0 = k.trc.Now()
+	}
 	k.occ.Observe(0, proc.Population())
 	return k
 }
@@ -151,12 +162,16 @@ func (k *Kernel) Step() error {
 	if total <= 0 {
 		k.met.noProgress.Inc()
 		k.FlushMetrics()
+		k.trc.Anomaly("kernel.no-progress", int64(k.events))
 		return ErrNoProgress
 	}
 	k.now += k.r.Exp(total)
 	k.events++
 	if k.met.events.Live() && k.events-k.metFlushed >= eventBatch {
 		k.FlushMetrics()
+	}
+	if k.trc != nil && k.events-k.trcMark >= eventBatch {
+		k.flushTrace()
 	}
 
 	u := k.r.Float64() * total
@@ -183,6 +198,7 @@ func (k *Kernel) Step() error {
 		if k.halter != nil && k.halter.Halted() {
 			k.met.halts.Inc()
 			k.FlushMetrics()
+			k.trc.Anomaly("kernel.halted", int64(k.events))
 			return ErrHalted
 		}
 	}

@@ -35,12 +35,14 @@ func grabMetrics() metrics {
 }
 
 // FlushMetrics pushes any batched event counts to the telemetry registry,
-// making the process-wide kernel_events_total exact. Simulators call it
-// when a run loop exits; it is idempotent and a no-op when telemetry is
-// disabled.
+// making the process-wide kernel_events_total exact, and emits the
+// in-progress execution-trace batch span (trace.go). Simulators call it
+// when a run loop exits; it is idempotent and a no-op when both telemetry
+// and tracing are disabled.
 func (k *Kernel) FlushMetrics() {
 	if k.met.events.Live() && k.events > k.metFlushed {
 		k.met.events.Add(k.events - k.metFlushed)
 		k.metFlushed = k.events
 	}
+	k.flushTrace()
 }

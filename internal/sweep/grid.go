@@ -8,6 +8,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/model"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // AxisSpec is one axis of a grid: which parameter it moves and the closed
@@ -187,6 +188,13 @@ func (g Grid) Run(ctx context.Context, r *Runner) (*Map, error) {
 			batch = append(batch, node{lvl: 0, ix: ix, iy: iy})
 		}
 	}
+	// Tracing: Points emits one span per round's batch; the refinement
+	// selection between rounds gets its own span here, with the number of
+	// quadtree children queued for the next round as its argument.
+	var gb *trace.Buf
+	if tr := trace.Default(); tr != nil {
+		gb = tr.Track("sweep")
+	}
 	rounds := 0
 	for len(batch) > 0 {
 		pts := make([]Point, len(batch))
@@ -211,6 +219,10 @@ func (g Grid) Run(ctx context.Context, r *Runner) (*Map, error) {
 
 		// Fill the class raster from the current leaves and collect the
 		// refinable leaves that disagree with any adjacent fine cell.
+		var rt0 int64
+		if gb != nil {
+			rt0 = gb.Now()
+		}
 		raster := classRaster(leaves, depth, fx, fy)
 		batch = batch[:0]
 		kept := leaves[:0]
@@ -234,6 +246,9 @@ func (g Grid) Run(ctx context.Context, r *Runner) (*Map, error) {
 			}
 			return a.ix < b.ix
 		})
+		if gb != nil {
+			gb.Span(fmt.Sprintf("refine/round%d", rounds-1), "sweep", rt0, int64(len(batch)))
+		}
 	}
 
 	m := g.newMap(fx, fy)

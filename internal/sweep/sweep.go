@@ -36,6 +36,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/rng"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Errors reported by the sweep subsystem.
@@ -170,6 +171,16 @@ func (r *Runner) Points(ctx context.Context, name string, pts []Point) ([]Cell, 
 		telemetry.Add(telemetry.SweepCacheHits, uint64(r.stats.CacheHits-before.CacheHits))
 		telemetry.Add(telemetry.SweepDeduped, uint64(r.stats.Deduped-before.Deduped))
 	}()
+	// Batch span on the shared "sweep" track, carrying the number of cells
+	// actually evaluated; cache hits get per-cell instant marks below.
+	var tb *trace.Buf
+	if tr := trace.Default(); tr != nil {
+		tb = tr.Track("sweep")
+		t0 := tb.Now()
+		defer func() {
+			tb.Span("batch:"+name, "sweep", t0, int64(r.stats.Evaluated-before.Evaluated))
+		}()
+	}
 	cache := r.cache()
 	type work struct {
 		pt   Point
@@ -184,6 +195,7 @@ func (r *Runner) Points(ctx context.Context, name string, pts []Point) ([]Cell, 
 		keys[i] = key
 		if _, ok := cache.Get(key); ok {
 			r.stats.CacheHits++
+			tb.Instant("cache.hit", "sweep", int64(i))
 			continue
 		}
 		if batch[key] {

@@ -1,0 +1,79 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestSweepTraceSpans: a traced adaptive sweep records one batch span per
+// refinement round, a refine-selection span per round, and a cache-hit
+// instant per memoized point — and the raster matches an untraced run.
+func TestSweepTraceSpans(t *testing.T) {
+	defer trace.SetDefault(nil)
+	g := example1Grid(1)
+	base, err := g.Run(context.Background(), &Runner{Evaluator: Theory{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	tr := trace.New(trace.Config{Stream: &buf})
+	trace.SetDefault(tr)
+	r := &Runner{Evaluator: Theory{}}
+	m, err := g.Run(context.Background(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-evaluate the base batch: every point is now a cache hit.
+	pts := make([]Point, 0, g.X.Cells*g.Y.Cells)
+	for iy := 0; iy < g.Y.Cells; iy++ {
+		for ix := 0; ix < g.X.Cells; ix++ {
+			pt, err := g.point(g.X.center(ix, g.X.Cells), g.Y.center(iy, g.Y.Cells))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pts = append(pts, pt)
+		}
+	}
+	if _, err := r.Points(context.Background(), "sweep/replay", pts); err != nil {
+		t.Fatal(err)
+	}
+	trace.SetDefault(nil)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range m.Cells {
+		if m.Cells[i].Class != base.Cells[i].Class || m.Cells[i].Value != base.Cells[i].Value {
+			t.Fatalf("cell %d: traced %+v, untraced %+v", i, m.Cells[i], base.Cells[i])
+		}
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	counts := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		counts[e.Name]++
+	}
+	if counts["batch:sweep/lambda0×mu-over-gamma/round0"] != 1 {
+		t.Errorf("round-0 batch spans = %d, want 1 (events: %v)",
+			counts["batch:sweep/lambda0×mu-over-gamma/round0"], counts)
+	}
+	if counts["refine/round0"] != 1 {
+		t.Errorf("refine spans = %d, want 1", counts["refine/round0"])
+	}
+	if counts["cache.hit"] != len(pts) {
+		t.Errorf("cache.hit instants = %d, want %d", counts["cache.hit"], len(pts))
+	}
+}

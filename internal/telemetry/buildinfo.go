@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the binary that produced an artifact: module
+// version, Go toolchain, and the VCS revision/time stamped by `go build`.
+// Every /vars snapshot, run report, and trace file carries it, so a
+// BENCH_telemetry.json or a flight dump is always attributable to a
+// commit.
+type BuildInfo struct {
+	Module    string `json:"module"`
+	Version   string `json:"version,omitempty"`
+	GoVersion string `json:"go_version"`
+	// Revision and Time come from the VCS stamp (`vcs.revision` /
+	// `vcs.time`); empty when the binary was built outside a checkout
+	// (e.g. `go test` binaries).
+	Revision string `json:"vcs_revision,omitempty"`
+	Time     string `json:"vcs_time,omitempty"`
+	// Dirty marks a build from a modified working tree.
+	Dirty bool `json:"vcs_dirty,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the running binary's build information, read once from
+// debug.ReadBuildInfo.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo = BuildInfo{
+			Module:    bi.Main.Path,
+			Version:   bi.Main.Version,
+			GoVersion: bi.GoVersion,
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.time":
+				buildInfo.Time = s.Value
+			case "vcs.modified":
+				buildInfo.Dirty = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// Meta renders the build info as flat string pairs — the form the trace
+// layer attaches to its files under "otherData".
+func (b BuildInfo) Meta() map[string]string {
+	m := map[string]string{
+		"module":     b.Module,
+		"go_version": b.GoVersion,
+	}
+	if b.Version != "" {
+		m["version"] = b.Version
+	}
+	if b.Revision != "" {
+		m["vcs_revision"] = b.Revision
+	}
+	if b.Time != "" {
+		m["vcs_time"] = b.Time
+	}
+	if b.Dirty {
+		m["vcs_dirty"] = "true"
+	}
+	return m
+}

@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramQuantile pins the bucket-upper-bound approximation: the
+// returned value is the inclusive upper bound of the log₂ bucket holding
+// the rank-⌈q·count⌉ observation.
+func TestHistogramQuantile(t *testing.T) {
+	h := &Histogram{}
+	// 90 fast observations in [512, 1023] (bucket le=1023), 9 in
+	// [4096, 8191] (le=8191), 1 in [65536, 131071] (le=131071).
+	for i := 0; i < 90; i++ {
+		h.Observe(600)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(5000)
+	}
+	h.Observe(100000)
+
+	cases := []struct {
+		q    float64
+		want uint64
+	}{
+		{0.50, 1023},    // rank 50 → first bucket
+		{0.90, 1023},    // rank 90 → still first bucket
+		{0.95, 8191},    // rank 95 → middle bucket
+		{0.99, 8191},    // rank 99 → middle bucket
+		{0.999, 131071}, // rank 100 → top occupied bucket
+		{1.0, 131071},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+
+	// Degenerate cases.
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Error("nil histogram quantile must be 0")
+	}
+	if (&Histogram{}).Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile must be 0")
+	}
+	one := &Histogram{}
+	one.Observe(0)
+	if one.Quantile(0.01) != 0 || one.Quantile(1) != 0 {
+		t.Error("single zero observation must report bucket 0")
+	}
+	top := &Histogram{}
+	top.Observe(math.MaxUint64)
+	if top.Quantile(0.5) != math.MaxUint64 {
+		t.Error("top bucket must report MaxUint64")
+	}
+}
+
+// TestSnapshotQuantiles: /vars and report histograms carry p50/p95/p99.
+func TestSnapshotQuantiles(t *testing.T) {
+	reg := New()
+	h := reg.Histogram(EngineReplicaBusyNS)
+	for i := 0; i < 99; i++ {
+		h.Observe(1000) // bucket le=1023
+	}
+	h.Observe(1 << 20) // bucket le=2097151
+	snap := reg.Snapshot()
+	hs := snap.Histograms[EngineReplicaBusyNS]
+	if hs.P50 != 1023 || hs.P95 != 1023 {
+		t.Errorf("p50/p95 = %d/%d, want 1023/1023", hs.P50, hs.P95)
+	}
+	if hs.P99 != 1023 {
+		t.Errorf("p99 = %d, want 1023 (rank 99 of 100)", hs.P99)
+	}
+}
+
+// TestBuildInfo: the build block is populated and attached to snapshots
+// and reports, so artifacts are attributable.
+func TestBuildInfo(t *testing.T) {
+	b := Build()
+	if b.Module == "" || b.GoVersion == "" {
+		t.Errorf("build info incomplete: %+v", b)
+	}
+	meta := b.Meta()
+	if meta["module"] != b.Module || meta["go_version"] != b.GoVersion {
+		t.Errorf("Meta() incomplete: %v", meta)
+	}
+	snap := New().Snapshot()
+	if snap.Build.Module != b.Module {
+		t.Errorf("snapshot build block = %+v", snap.Build)
+	}
+	rep := New().Report("unit")
+	if rep.Build.GoVersion != b.GoVersion {
+		t.Errorf("report build block = %+v", rep.Build)
+	}
+}

@@ -21,13 +21,14 @@ const ReportSchema = "p2p-telemetry/1"
 // deterministic at a fixed seed, which is what makes cross-PR events/sec
 // comparable: same work, measured wall clock.
 type Report struct {
-	Schema       string  `json:"schema"`
-	Label        string  `json:"label"`
-	UnixTime     int64   `json:"unix_time"`
-	WallSeconds  float64 `json:"wall_seconds"`
-	Events       uint64  `json:"events_total"`
-	EventsPerSec float64 `json:"events_per_sec"`
-	Replicas     uint64  `json:"replicas"`
+	Schema       string    `json:"schema"`
+	Label        string    `json:"label"`
+	Build        BuildInfo `json:"build"`
+	UnixTime     int64     `json:"unix_time"`
+	WallSeconds  float64   `json:"wall_seconds"`
+	Events       uint64    `json:"events_total"`
+	EventsPerSec float64   `json:"events_per_sec"`
+	Replicas     uint64    `json:"replicas"`
 
 	Cache *CacheReport `json:"cache,omitempty"`
 	Mem   MemReport    `json:"mem"`
@@ -63,6 +64,7 @@ func (r *Registry) Report(label string) Report {
 	rep := Report{
 		Schema:   ReportSchema,
 		Label:    label,
+		Build:    Build(),
 		UnixTime: time.Now().Unix(),
 	}
 	var ms runtime.MemStats

@@ -359,13 +359,65 @@ func (h *Histogram) Sum() uint64 {
 	return h.sum.Load()
 }
 
+// Quantile returns the q-quantile (0 < q ≤ 1) of the observations as the
+// inclusive upper bound of the log₂ bucket holding the rank-⌈q·count⌉
+// observation. The result is therefore an upper-bound approximation with
+// at most one power of two of slack — good enough to rank latency tails
+// and detect stragglers, which is all the report and the engine's
+// flight-recorder trigger ask of it. Returns 0 on a nil or empty
+// histogram.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if q*float64(total) > float64(rank) {
+		rank++ // ceil
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
+// bucketUpper is bucket i's inclusive upper bound as a value (MaxUint64
+// for the top bucket).
+func bucketUpper(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<i - 1
+}
+
 // HistogramSnapshot is a point-in-time copy of a histogram for /vars and
 // the run report. Buckets maps the bucket's inclusive upper bound
 // (rendered as a decimal string; "+Inf" for the top bucket) to its count;
-// zero buckets are omitted.
+// zero buckets are omitted. P50/P95/P99 are log₂-bucket-upper-bound
+// approximations (see Histogram.Quantile) — the report's latency
+// quantiles, not exact order statistics.
 type HistogramSnapshot struct {
 	Count   uint64            `json:"count"`
 	Sum     uint64            `json:"sum"`
+	P50     uint64            `json:"p50"`
+	P95     uint64            `json:"p95"`
+	P99     uint64            `json:"p99"`
 	Buckets map[string]uint64 `json:"buckets,omitempty"`
 }
 
@@ -382,7 +434,13 @@ func bucketBound(i int) string {
 
 // snapshot copies the histogram's current state.
 func (h *Histogram) snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
 	for i := range h.buckets {
 		if n := h.buckets[i].Load(); n > 0 {
 			if s.Buckets == nil {
@@ -395,9 +453,11 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 }
 
 // Snapshot is a point-in-time copy of every metric in a registry — the
-// /vars payload and the raw material of the run report.
+// /vars payload and the raw material of the run report. Build identifies
+// the producing binary so every artifact is attributable to a commit.
 type Snapshot struct {
 	UptimeSeconds float64                      `json:"uptime_seconds"`
+	Build         BuildInfo                    `json:"build"`
 	Counters      map[string]uint64            `json:"counters"`
 	Gauges        map[string]int64             `json:"gauges,omitempty"`
 	Histograms    map[string]HistogramSnapshot `json:"histograms,omitempty"`
@@ -412,6 +472,7 @@ func (r *Registry) Snapshot() Snapshot {
 	defer r.mu.Unlock()
 	s := Snapshot{
 		UptimeSeconds: time.Since(r.start).Seconds(),
+		Build:         Build(),
 		Counters:      make(map[string]uint64, len(r.counters)),
 	}
 	for name, c := range r.counters {

@@ -1,0 +1,226 @@
+package trace
+
+import (
+	"os"
+	"sort"
+	"strconv"
+)
+
+// This file renders rings into the Chrome trace-event JSON format — the
+// object form with a "traceEvents" array — which Perfetto and
+// chrome://tracing load directly. Timestamps and durations are emitted in
+// microseconds (the format's unit) with nanosecond precision kept in three
+// decimals. The layout is pinned by TestChromeSchema.
+
+// header opens the JSON object: display unit, the caller's metadata, then
+// the traceEvents array.
+func appendHeader(dst []byte, meta map[string]string, extra ...string) []byte {
+	dst = append(dst, `{"displayTimeUnit":"ms","otherData":{`...)
+	first := true
+	keys := make([]string, 0, len(meta))
+	for k := range meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !first {
+			dst = append(dst, ',')
+		}
+		first = false
+		dst = strconv.AppendQuote(dst, k)
+		dst = append(dst, ':')
+		dst = strconv.AppendQuote(dst, meta[k])
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		if !first {
+			dst = append(dst, ',')
+		}
+		first = false
+		dst = strconv.AppendQuote(dst, extra[i])
+		dst = append(dst, ':')
+		dst = strconv.AppendQuote(dst, extra[i+1])
+	}
+	dst = append(dst, `},"traceEvents":[`...)
+	return dst
+}
+
+// appendMicros renders a nanosecond quantity in microseconds with three
+// decimals (exact to the nanosecond).
+func appendMicros(dst []byte, ns int64) []byte {
+	return strconv.AppendFloat(dst, float64(ns)/1e3, 'f', 3, 64)
+}
+
+// appendEvent renders one ring event as a Chrome trace event on track tid.
+// comma prefixes the record when it is not the array's first element.
+func appendEvent(dst []byte, e Event, tid int, comma bool) []byte {
+	if comma {
+		dst = append(dst, ',')
+	}
+	dst = append(dst, "\n{\"name\":"...)
+	dst = strconv.AppendQuote(dst, e.Name)
+	dst = append(dst, ",\"cat\":"...)
+	dst = strconv.AppendQuote(dst, e.Cat)
+	dst = append(dst, ",\"ph\":\""...)
+	dst = append(dst, e.Ph)
+	dst = append(dst, "\",\"pid\":1,\"tid\":"...)
+	dst = strconv.AppendInt(dst, int64(tid), 10)
+	dst = append(dst, ",\"ts\":"...)
+	dst = appendMicros(dst, e.TS)
+	if e.Ph == PhaseSpan {
+		dst = append(dst, ",\"dur\":"...)
+		dst = appendMicros(dst, e.Dur)
+	}
+	if e.Ph == PhaseInstant {
+		dst = append(dst, ",\"s\":\"t\""...)
+	}
+	dst = append(dst, ",\"args\":{\"v\":"...)
+	dst = strconv.AppendInt(dst, e.Arg, 10)
+	dst = append(dst, "}}"...)
+	return dst
+}
+
+// appendThreadName renders the metadata event naming track tid.
+func appendThreadName(dst []byte, name string, tid int, comma bool) []byte {
+	if comma {
+		dst = append(dst, ',')
+	}
+	dst = append(dst, "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"...)
+	dst = strconv.AppendInt(dst, int64(tid), 10)
+	dst = append(dst, ",\"args\":{\"name\":"...)
+	dst = strconv.AppendQuote(dst, name)
+	dst = append(dst, "}}"...)
+	return dst
+}
+
+// flushBuf drains one ring into the stream writer. Lock order: Tracer.mu,
+// then Buf.mu (inside drainLocked).
+func (t *Tracer) flushBuf(b *Buf) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.drainLocked(b)
+}
+
+// drainLocked moves b's buffered events onto the stream. Caller holds
+// t.mu. Write errors latch into streamErr (surfaced by Close); rings still
+// reset so the run is never blocked by a dead sink.
+func (t *Tracer) drainLocked(b *Buf) {
+	if t.stream == nil || t.closed {
+		return
+	}
+	b.mu.Lock()
+	events := make([]Event, 0, b.count)
+	events = b.snapshotLocked(events)
+	b.resetLocked()
+	b.mu.Unlock()
+	if len(events) == 0 {
+		return
+	}
+	var out []byte
+	if !t.headerOK {
+		out = appendHeader(out, t.meta)
+		t.headerOK = true
+		out = appendThreadName(out, b.name, b.tid, false)
+		out = appendEvent(out, events[0], b.tid, true)
+		events = events[1:]
+	} else {
+		out = appendThreadName(out, b.name, b.tid, true)
+	}
+	for _, e := range events {
+		out = appendEvent(out, e, b.tid, true)
+	}
+	t.writeStream(out)
+}
+
+// snapshotLocked is snapshot with b.mu already held.
+func (b *Buf) snapshotLocked(dst []Event) []Event {
+	start := b.next - b.count
+	if start < 0 {
+		start += len(b.ev)
+	}
+	for i := 0; i < b.count; i++ {
+		dst = append(dst, b.ev[(start+i)%len(b.ev)])
+	}
+	return dst
+}
+
+func (t *Tracer) writeStream(p []byte) {
+	if t.streamErr != nil {
+		return
+	}
+	if _, err := t.stream.Write(p); err != nil {
+		t.streamErr = err
+	}
+}
+
+// Close flushes every ring to the stream (writing the footer), writes the
+// final end-of-run flight dump, and marks the tracer closed. It returns
+// the first stream write error, if any. Nil-safe and idempotent.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.writeFlight("end-of-run")
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return t.streamErr
+	}
+	if t.stream != nil {
+		for _, b := range t.order {
+			t.drainLocked(b)
+		}
+		var out []byte
+		if !t.headerOK {
+			out = appendHeader(out, t.meta)
+			t.headerOK = true
+		}
+		out = append(out, "\n]}\n"...)
+		t.writeStream(out)
+	}
+	t.closed = true
+	return t.streamErr
+}
+
+// dumpFlight writes an anomaly-triggered flight dump, bounded by MaxDumps.
+func (t *Tracer) dumpFlight(reason string) {
+	if t == nil || t.flight == "" {
+		return
+	}
+	if t.dumpsLeft.Add(-1) < 0 {
+		return
+	}
+	t.dumps.Add(1)
+	t.writeFlight(reason)
+}
+
+// writeFlight renders the rings' current contents as one self-contained
+// Chrome trace file at FlightPath, replacing any previous dump. The rings
+// are not reset: the flight recorder keeps its tail hot for the next
+// anomaly.
+func (t *Tracer) writeFlight(reason string) {
+	if t == nil || t.flight == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	out := appendHeader(nil, t.meta,
+		"dumpReason", reason,
+		"dumpCount", itoa(int(t.dumps.Load())))
+	comma := false
+	var scratch []Event
+	for _, b := range t.order {
+		out = appendThreadName(out, b.name, b.tid, comma)
+		comma = true
+		scratch = b.snapshot(scratch[:0])
+		for _, e := range scratch {
+			out = appendEvent(out, e, b.tid, true)
+		}
+	}
+	out = append(out, "\n]}\n"...)
+	// Best-effort: a failed flight write must never fail the run — the
+	// trace layer is observability, not output.
+	_ = os.WriteFile(t.flight, out, 0o644)
+}

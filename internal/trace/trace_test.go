@@ -1,0 +1,284 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chromeFile mirrors the emitted layout for schema validation.
+type chromeFile struct {
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData"`
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+}
+
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat"`
+	Ph   string                 `json:"ph"`
+	PID  int                    `json:"pid"`
+	TID  int                    `json:"tid"`
+	TS   *float64               `json:"ts"`
+	Dur  *float64               `json:"dur"`
+	Args map[string]interface{} `json:"args"`
+}
+
+// validateChrome checks the invariants every emitted file must satisfy:
+// valid JSON, the trace-event required keys, microsecond timestamps ≥ 0,
+// durations present exactly on complete events, and thread-name metadata
+// for every tid in use.
+func validateChrome(t *testing.T, data []byte) chromeFile {
+	t.Helper()
+	var f chromeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, data)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", f.DisplayTimeUnit)
+	}
+	named := map[int]bool{}
+	for _, e := range f.TraceEvents {
+		if e.Ph == "M" {
+			if e.Name != "thread_name" || e.Args["name"] == "" {
+				t.Errorf("bad metadata event: %+v", e)
+			}
+			named[e.TID] = true
+		}
+	}
+	for _, e := range f.TraceEvents {
+		switch e.Ph {
+		case "X", "i":
+			if e.Name == "" || e.PID != 1 || e.TID <= 0 {
+				t.Errorf("bad event header: %+v", e)
+			}
+			if e.TS == nil || *e.TS < 0 {
+				t.Errorf("event %q has no ts", e.Name)
+			}
+			if e.Ph == "X" && (e.Dur == nil || *e.Dur < 0) {
+				t.Errorf("complete event %q has no dur", e.Name)
+			}
+			if e.Ph == "i" && e.Dur != nil {
+				t.Errorf("instant event %q carries a dur", e.Name)
+			}
+			if _, ok := e.Args["v"]; !ok {
+				t.Errorf("event %q has no args.v", e.Name)
+			}
+			if !named[e.TID] {
+				t.Errorf("event %q on unnamed tid %d", e.Name, e.TID)
+			}
+		case "M":
+		default:
+			t.Errorf("unknown phase %q", e.Ph)
+		}
+	}
+	return f
+}
+
+// TestChromeSchema pins the streamed file format: the schema test the
+// acceptance criteria name. Spans, instants, multiple tracks, metadata.
+func TestChromeSchema(t *testing.T) {
+	var out bytes.Buffer
+	tr := New(Config{Stream: &out, Meta: map[string]string{"label": "unit"}})
+	a := tr.Track("alpha")
+	b := tr.Track("beta")
+	ts := a.Now()
+	ts = a.Span("phase1", "test", ts, 1)
+	a.Span("phase2", "test", ts, 2)
+	b.Instant("mark", "test", 7)
+	b.Span(`quoted "name"`, "test", b.Now(), -3)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f := validateChrome(t, out.Bytes())
+	if f.OtherData["label"] != "unit" {
+		t.Errorf("otherData.label = %q", f.OtherData["label"])
+	}
+	var spans, instants int
+	for _, e := range f.TraceEvents {
+		switch e.Ph {
+		case "X":
+			spans++
+		case "i":
+			instants++
+		}
+	}
+	if spans != 3 || instants != 1 {
+		t.Errorf("spans/instants = %d/%d, want 3/1", spans, instants)
+	}
+	// Close is idempotent and a second Close adds nothing.
+	n := out.Len()
+	if err := tr.Close(); err != nil || out.Len() != n {
+		t.Errorf("second Close changed the stream (err=%v)", err)
+	}
+}
+
+// TestStreamFlushOnFullRing: stream mode loses no events when a ring
+// fills — it flushes instead of wrapping.
+func TestStreamFlushOnFullRing(t *testing.T) {
+	var out bytes.Buffer
+	tr := New(Config{Stream: &out, RingSize: 8})
+	b := tr.Track("hot")
+	const n = 100
+	for i := 0; i < n; i++ {
+		b.Instant("tick", "test", int64(i))
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f := validateChrome(t, out.Bytes())
+	var got int
+	for _, e := range f.TraceEvents {
+		if e.Name == "tick" {
+			got++
+		}
+	}
+	if got != n {
+		t.Errorf("streamed %d ticks, want %d", got, n)
+	}
+}
+
+// TestFlightRecorder: rings wrap in flight mode, anomalies dump the tail,
+// dumps are capped, and Close writes the final end-of-run dump.
+func TestFlightRecorder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.json")
+	tr := New(Config{FlightPath: path, RingSize: 16, MaxDumps: 2})
+	b := tr.Track("kernel/0")
+	for i := 0; i < 100; i++ {
+		b.Instant("tick", "test", int64(i))
+	}
+	b.Anomaly("kernel.no-progress", 42)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("anomaly did not dump: %v", err)
+	}
+	f := validateChrome(t, data)
+	if f.OtherData["dumpReason"] != "kernel.no-progress" {
+		t.Errorf("dumpReason = %q", f.OtherData["dumpReason"])
+	}
+	// The ring wrapped: only the most recent tail survives, and the
+	// anomaly marker itself is in it.
+	var ticks, anomalies int
+	var minArg float64 = 1 << 60
+	for _, e := range f.TraceEvents {
+		switch e.Name {
+		case "tick":
+			ticks++
+			if v := e.Args["v"].(float64); v < minArg {
+				minArg = v
+			}
+		case "kernel.no-progress":
+			anomalies++
+		}
+	}
+	if ticks >= 100 || ticks == 0 {
+		t.Errorf("flight dump has %d ticks, want a wrapped tail", ticks)
+	}
+	if minArg < 84 {
+		t.Errorf("oldest surviving tick is %v, want recent tail only", minArg)
+	}
+	if anomalies != 1 {
+		t.Errorf("anomaly marker count = %d", anomalies)
+	}
+	if tr.Dumps() != 1 {
+		t.Errorf("Dumps() = %d, want 1", tr.Dumps())
+	}
+
+	// Dump cap: the 3rd anomaly is rate-limited away.
+	b.Anomaly("replica.error", 1)
+	b.Anomaly("replica.error", 2)
+	if tr.Dumps() != 2 {
+		t.Errorf("Dumps() = %d, want capped at 2", tr.Dumps())
+	}
+	// Close rewrites the file as the end-of-run dump (not counted).
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f = validateChrome(t, data)
+	if f.OtherData["dumpReason"] != "end-of-run" {
+		t.Errorf("final dumpReason = %q", f.OtherData["dumpReason"])
+	}
+	if tr.Dumps() != 2 {
+		t.Errorf("end-of-run dump counted against MaxDumps")
+	}
+}
+
+// TestNilSafety: the disabled tracer and handles are inert one-branch
+// no-ops — the zero-cost-when-off contract.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Now() != 0 || tr.Track("x") != nil || tr.Kernel() != nil || tr.Dumps() != 0 {
+		t.Error("nil tracer must be inert")
+	}
+	if err := tr.Close(); err != nil {
+		t.Error("nil Close must return nil")
+	}
+	var b *Buf
+	if b.Live() || b.Now() != 0 || b.Span("s", "c", 0, 0) != 0 {
+		t.Error("nil buf must be inert")
+	}
+	b.Instant("i", "c", 0)
+	b.Anomaly("a", 0)
+	if Default() != nil {
+		t.Error("tracing must default to disabled")
+	}
+}
+
+// TestKernelSharding: Kernel() hands out a bounded shard pool round-robin
+// instead of registering a track per kernel.
+func TestKernelSharding(t *testing.T) {
+	tr := New(Config{})
+	seen := map[*Buf]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[tr.Kernel()] = true
+	}
+	if len(seen) > kernelShards() {
+		t.Errorf("kernel tracks = %d, want ≤ %d", len(seen), kernelShards())
+	}
+	for b := range seen {
+		if !strings.HasPrefix(b.name, "kernel/") {
+			t.Errorf("kernel track named %q", b.name)
+		}
+	}
+}
+
+// TestWriteAllocs: ring writes on live handles allocate nothing — the
+// hot-path contract instrumentation sites rely on.
+func TestWriteAllocs(t *testing.T) {
+	tr := New(Config{}) // flight-style: rings wrap, no stream flush
+	b := tr.Track("hot")
+	ts := b.Now()
+	allocs := testing.AllocsPerRun(1000, func() {
+		b.Span("span", "test", ts, 9)
+		b.Instant("mark", "test", 9)
+	})
+	if allocs != 0 {
+		t.Errorf("ring write allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestStreamErrorSurfaces: a dead sink latches its error into Close
+// without blocking the run.
+func TestStreamErrorSurfaces(t *testing.T) {
+	boom := errors.New("disk full")
+	tr := New(Config{Stream: failWriter{err: boom}, RingSize: 4})
+	b := tr.Track("x")
+	for i := 0; i < 10; i++ {
+		b.Instant("tick", "t", int64(i)) // forces flushes into the dead sink
+	}
+	if err := tr.Close(); !errors.Is(err, boom) {
+		t.Errorf("Close error = %v, want %v", err, boom)
+	}
+}
+
+type failWriter struct{ err error }
+
+func (f failWriter) Write(p []byte) (int, error) { return 0, f.err }
