@@ -1,4 +1,4 @@
-// Command experiments regenerates the paper-reproduction tables E1–E17
+// Command experiments regenerates the paper-reproduction tables E1–E18
 // (see DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
 // output). Replicated experiments run on the parallel Monte-Carlo engine;
 // output is byte-identical for any -parallel value at a fixed seed.

@@ -71,7 +71,7 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		yCells = fs.Int("ycells", 6, "base grid cells along y")
 		depth  = fs.Int("depth", 3, "quadtree refinement depth (0 = dense base grid only)")
 		dense  = fs.Bool("dense", false, "evaluate every fine cell (baseline; no adaptive savings)")
-		eval   = fs.String("eval", "theory", `cell evaluator: "theory" (Theorem 1) or "sim" (Monte-Carlo)`)
+		eval   = fs.String("eval", "theory", `cell evaluator: "theory" (Theorem 1), "sim" (Monte-Carlo), or "hybrid" (adaptive multi-regime Monte-Carlo)`)
 
 		k       = fs.Int("k", 1, "number of pieces K")
 		us      = fs.Float64("us", 1, "seed upload rate U_s")
@@ -171,8 +171,18 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 			Evaluator: &sweep.Empirical{Horizon: *horizon, PeerCap: *peerCap, Replicas: *replicas},
 			Seed:      *seed,
 		}
+	case "hybrid":
+		// Tau-leaping aggregates the stationary rates of equation (1), so
+		// workload overlays need the exact simulator.
+		if scenario.Active() || xAxis.Scenario || yAxis.Scenario {
+			return fmt.Errorf("scenario axes and -flash-peak/-churn flags require -eval sim (the hybrid backend aggregates stationary rates)")
+		}
+		evaluator = sweep.Seeded{
+			Evaluator: &sweep.Hybrid{Horizon: *horizon, PeerCap: *peerCap, Replicas: *replicas},
+			Seed:      *seed,
+		}
 	default:
-		return fmt.Errorf("unknown -eval %q (want theory or sim)", *eval)
+		return fmt.Errorf("unknown -eval %q (want theory, sim, or hybrid)", *eval)
 	}
 
 	runner := &sweep.Runner{Evaluator: evaluator, Workers: *parallel}

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"repro/internal/engine"
+	"repro/internal/hybrid"
 	"repro/internal/kernel"
 	"repro/internal/markov"
 	"repro/internal/model"
@@ -197,6 +198,93 @@ func (e Empirical) Agrees(v stability.Verdict) bool {
 	default:
 		return true
 	}
+}
+
+// ClassifyHybrid is ClassifyEmpirically on the adaptive multi-regime
+// backend (internal/hybrid): exact CTMC near boundaries, tau-leaping in the
+// bulk, fluid ODE deep in the interior. The classification protocol —
+// burn-in, slices, the grew criterion — is identical, so verdicts are
+// comparable cell for cell with the exact evaluator; what changes is the
+// cost at large scale. Scenarios and non-default policies are rejected:
+// tau-leaping aggregates the stationary RandomUseful rates of equation (1).
+func (s *System) ClassifyHybrid(cfg RunConfig, hcfg hybrid.Config) (Empirical, error) {
+	if err := cfg.normalize(); err != nil {
+		return Empirical{}, err
+	}
+	if cfg.Scenario.Active() {
+		return Empirical{}, fmt.Errorf("%w: %v", ErrBadConfig, hybrid.ErrScenario)
+	}
+	if _, ok := cfg.Policy.(sim.RandomUseful); !ok {
+		return Empirical{}, fmt.Errorf("%w: hybrid backend supports only the random-useful policy", ErrBadConfig)
+	}
+	if cfg.Observers != nil {
+		return Empirical{}, fmt.Errorf("%w: hybrid backend has no kernel tap for observers", ErrBadConfig)
+	}
+	if err := hcfg.Validate(); err != nil {
+		return Empirical{}, err
+	}
+	backend := &engine.HybridBackend{
+		Label:  "classify-hybrid",
+		Params: s.params,
+		Config: hcfg,
+		Measure: func(ctx context.Context, rep int, h *hybrid.Swarm) (engine.Sample, error) {
+			reason, err := h.RunUntil(cfg.BurnIn, cfg.PeerCap)
+			if err != nil {
+				return nil, err
+			}
+			if reason != sim.StopPeers {
+				h.ResetOccupancy()
+				step := (cfg.Horizon - cfg.BurnIn) / 8
+				for target := cfg.BurnIn + step; reason != sim.StopPeers && h.Now() < cfg.Horizon; target += step {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					if target > cfg.Horizon {
+						target = cfg.Horizon
+					}
+					reason, err = h.RunUntil(target, cfg.PeerCap)
+					if err != nil {
+						return nil, err
+					}
+				}
+			}
+			sample := engine.Sample{"final_n": float64(h.N())}
+			if reason == sim.StopPeers || h.N() >= cfg.PeerCap/2 {
+				sample["grew"] = 1
+			} else {
+				sample["occupancy"] = h.MeanPeers()
+			}
+			st := h.Stats()
+			sample["leaps"] = float64(st.Leaps)
+			sample["exact_events"] = float64(st.ExactEvents)
+			sample["fluid_steps"] = float64(st.FluidSteps)
+			return sample, nil
+		},
+	}
+	res, err := engine.Run(cfg.Context, engine.Job{
+		Name:     "classify-hybrid/" + s.params.String(),
+		Backend:  backend,
+		Replicas: cfg.Replicas,
+		Seed:     cfg.Seed,
+		Workers:  cfg.Workers,
+		Sink:     cfg.Sink,
+		Progress: cfg.Progress,
+	})
+	if err != nil {
+		return Empirical{}, err
+	}
+	grew := res.Count("grew")
+	out := Empirical{
+		Replicas:      cfg.Replicas,
+		Grew:          2*grew > cfg.Replicas,
+		GrowFraction:  float64(grew) / float64(cfg.Replicas),
+		MeanFinalN:    res.Mean("final_n"),
+		MeanOccupancy: math.NaN(),
+	}
+	if res.Count("occupancy") > 0 {
+		out.MeanOccupancy = res.Mean("occupancy")
+	}
+	return out, nil
 }
 
 // ClassifyEmpirically runs independent replicas through the parallel

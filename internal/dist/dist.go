@@ -203,6 +203,11 @@ func (a *TimeAverage) Observe(t, v float64) {
 	a.lastV = v
 }
 
+// Started reports whether any observation has been recorded; callers that
+// lazily anchor the average at a run's start (the hybrid backend) use it to
+// observe the initial level exactly once.
+func (a *TimeAverage) Started() bool { return a.started }
+
 // Value returns the time-weighted average over the observed span. Before
 // any time has elapsed it returns the most recent level (NaN if nothing was
 // observed), so short runs still report a sensible occupancy.

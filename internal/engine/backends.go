@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/borderline"
 	"repro/internal/codedsim"
+	"repro/internal/hybrid"
 	"repro/internal/kernel"
 	"repro/internal/obs"
 	"repro/internal/peersim"
@@ -89,6 +90,48 @@ func (b *SwarmBackend) RunReplica(ctx context.Context, rep int, r *rng.RNG) (Rec
 		return Record{}, err
 	}
 	return sealRecord(sample, set, sw.Now()), nil
+}
+
+// HybridBackend drives the adaptive multi-regime simulator
+// (internal/hybrid): exact CTMC near boundaries, tau-leaping in the bulk,
+// and optionally the fluid ODE deep in the interior. Replica streams come
+// from the engine exactly as for the other backends, so results are
+// byte-identical at any worker count. There is no Observe hook: the hybrid
+// backend has no persistent kernel to tap (its exact segments rebuild
+// kernels as regimes switch); measurements go through the Swarm accessors.
+type HybridBackend struct {
+	// Label names the backend in sink records (default "hybrid").
+	Label string
+	// Params configures the swarm.
+	Params model.Params
+	// Config tunes the regime thresholds (zero value = defaults).
+	Config hybrid.Config
+	// Options are extra swarm options (initial peers, watches are armed in
+	// Measure). The engine appends its own WithRNG last.
+	Options []hybrid.Option
+	// Measure runs the replica on the fresh swarm and extracts its sample.
+	Measure func(ctx context.Context, rep int, h *hybrid.Swarm) (Sample, error)
+}
+
+// Name implements Backend.
+func (b *HybridBackend) Name() string { return orDefault(b.Label, "hybrid") }
+
+// RunReplica implements Backend.
+func (b *HybridBackend) RunReplica(ctx context.Context, rep int, r *rng.RNG) (Record, error) {
+	if b.Measure == nil {
+		return Record{}, ErrNoMeasure
+	}
+	opts := append([]hybrid.Option{}, b.Options...)
+	opts = append(opts, hybrid.WithConfig(b.Config), hybrid.WithRNG(r))
+	h, err := hybrid.New(b.Params, opts...)
+	if err != nil {
+		return Record{}, err
+	}
+	sample, err := b.Measure(ctx, rep, h)
+	if err != nil {
+		return Record{}, err
+	}
+	return sealRecord(sample, nil, h.Now()), nil
 }
 
 // RecoveryBackend drives the fast-recovery variant of the type-count

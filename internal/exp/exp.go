@@ -1,4 +1,4 @@
-// Package exp defines the reproduction experiments E1–E17 that regenerate
+// Package exp defines the reproduction experiments E1–E18 that regenerate
 // every quantitative artifact of the paper (the worked examples of Section
 // IV, the missing-piece growth law of Sections V–VI, the Theorem 15 coding
 // thresholds, and the Section VIII-D borderline process) plus the scenario
@@ -193,6 +193,7 @@ func All() []Experiment {
 		{ID: "E15", Title: "Scenario layer: flash-crowd ramp and downloader churn", Artifact: "kernel scenario layer (extension)", Run: RunE15},
 		{ID: "E16", Title: "Phase maps via the adaptive sweep subsystem", Artifact: "Fig. 1(a)–(c) + scenario diagram (extension)", Run: RunE16},
 		{ID: "E17", Title: "Streaming observation: Little's law and one-club formation times", Artifact: "Little's law / observer pipeline (extension)", Run: RunE17},
+		{ID: "E18", Title: "Hybrid multi-regime backend: phase-map, occupancy, and work-ratio validation", Artifact: "adaptive multi-regime backend (extension)", Run: RunE18},
 	}
 }
 

@@ -8,8 +8,8 @@ import (
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
-		t.Fatalf("expected 17 experiments, got %d", len(all))
+	if len(all) != 18 {
+		t.Fatalf("expected 18 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -137,6 +137,14 @@ func TestE17Quick(t *testing.T) {
 	}
 }
 
+func TestE18Quick(t *testing.T) {
+	tb := checkNoDisagreement(t, "E18")
+	// Boundary, occupancy, and work-ratio checks.
+	if len(tb.Rows) != 3 {
+		t.Errorf("E18 rows = %d, want 3", len(tb.Rows))
+	}
+}
+
 func TestE15Quick(t *testing.T) {
 	tb := checkNoDisagreement(t, "E15")
 	if len(tb.Rows) != 4 {
@@ -164,7 +172,7 @@ func TestE15Knobs(t *testing.T) {
 // level: for a fixed seed the rendered experiment output must be identical
 // for 1, 2, and 8 workers (also exercised under -race in CI).
 func TestTableDeterminismAcrossWorkers(t *testing.T) {
-	for _, id := range []string{"E5", "E8", "E9", "E13", "E15", "E17"} {
+	for _, id := range []string{"E5", "E8", "E9", "E13", "E15", "E17", "E18"} {
 		e, err := ByID(id)
 		if err != nil {
 			t.Fatal(err)

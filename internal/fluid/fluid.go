@@ -3,12 +3,16 @@
 // equation (1) with deterministic flows. The paper's Section IV heuristics
 // (and the related fluid analysis of Massoulié–Vojnovic [11]) reason in
 // exactly these terms; experiment E5 uses the integrator to corroborate the
-// one-club growth rate alongside the stochastic simulator.
+// one-club growth rate alongside the stochastic simulator, and the hybrid
+// backend (internal/hybrid) hands long stable stretches to the ODE when
+// fluctuations are negligible.
 package fluid
 
 import (
 	"errors"
 	"fmt"
+	"math"
+	"math/bits"
 
 	"repro/internal/model"
 	"repro/internal/pieceset"
@@ -62,11 +66,12 @@ func (s *System) rate(x []float64, n float64, c pieceset.Set, i int) float64 {
 	return xc / n * r
 }
 
-// Field evaluates dx/dt at x. Coordinates at or below zero contribute no
-// outflow (the boundary behaviour of the fluid limit).
-func (s *System) Field(x []float64) ([]float64, error) {
-	if len(x) != s.dim {
-		return nil, ErrBadState
+// FieldInto evaluates dx/dt at x into dst (overwritten), allocating
+// nothing. Coordinates at or below zero contribute no outflow (the boundary
+// behaviour of the fluid limit). dst and x must not alias.
+func (s *System) FieldInto(dst, x []float64) error {
+	if len(x) != s.dim || len(dst) != s.dim {
+		return ErrBadState
 	}
 	var n float64
 	for _, v := range x {
@@ -74,14 +79,16 @@ func (s *System) Field(x []float64) ([]float64, error) {
 			n += v
 		}
 	}
-	out := make([]float64, s.dim)
+	for i := range dst {
+		dst[i] = 0
+	}
 	// Arrivals.
 	for c, l := range s.params.Lambda {
-		out[int(c)] += l
+		dst[int(c)] += l
 	}
 	// Peer-seed departures.
 	if !s.params.GammaInf() && x[int(s.full)] > 0 {
-		out[int(s.full)] -= s.params.Gamma * x[int(s.full)]
+		dst[int(s.full)] -= s.params.Gamma * x[int(s.full)]
 	}
 	// Upload flows.
 	for idx := range x {
@@ -89,18 +96,29 @@ func (s *System) Field(x []float64) ([]float64, error) {
 		if c == s.full || x[idx] <= 0 {
 			continue
 		}
-		c.Complement(s.params.K).ForEach(func(i int) {
+		for rem := uint32(c.Complement(s.params.K)); rem != 0; rem &= rem - 1 {
+			i := bits.TrailingZeros32(rem) + 1
 			r := s.rate(x, n, c, i)
 			if r <= 0 {
-				return
+				continue
 			}
-			out[idx] -= r
+			dst[idx] -= r
 			next := c.With(i)
 			if next == s.full && s.params.GammaInf() {
-				return // completion departs immediately
+				continue // completion departs immediately
 			}
-			out[int(next)] += r
-		})
+			dst[int(next)] += r
+		}
+	}
+	return nil
+}
+
+// Field evaluates dx/dt at x, allocating a fresh derivative slice. The
+// allocation-free path is FieldInto (used by Stepper on every RK4 stage).
+func (s *System) Field(x []float64) ([]float64, error) {
+	out := make([]float64, s.dim)
+	if err := s.FieldInto(out, x); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -110,6 +128,100 @@ type Point struct {
 	T float64
 	X []float64
 	N float64
+}
+
+// Stepper advances the fluid ODE with classical RK4 using preallocated
+// scratch, so a steady-state integration loop performs zero heap
+// allocations per step (gated by TestStepAllocsSteadyState). A Stepper is
+// not safe for concurrent use; integrate concurrently with one Stepper per
+// goroutine.
+type Stepper struct {
+	s                  *System
+	k1, k2, k3, k4, xt []float64
+	xa, xb             []float64 // step-doubling scratch
+}
+
+// NewStepper builds a reusable RK4 stepper for the system.
+func (s *System) NewStepper() *Stepper {
+	return &Stepper{
+		s:  s,
+		k1: make([]float64, s.dim),
+		k2: make([]float64, s.dim),
+		k3: make([]float64, s.dim),
+		k4: make([]float64, s.dim),
+		xt: make([]float64, s.dim),
+		xa: make([]float64, s.dim),
+		xb: make([]float64, s.dim),
+	}
+}
+
+// Step advances x in place by one RK4 step of size dt, clamping
+// coordinates at zero afterwards. The arithmetic — stage order, axpy
+// association, the dt/6 combination — is identical to the original
+// allocating loop, so trajectories are bit-for-bit unchanged.
+func (st *Stepper) Step(x []float64, dt float64) error {
+	if dt <= 0 {
+		return ErrBadStep
+	}
+	s := st.s
+	if err := s.FieldInto(st.k1, x); err != nil {
+		return err
+	}
+	axpyInto(st.xt, x, dt/2, st.k1)
+	if err := s.FieldInto(st.k2, st.xt); err != nil {
+		return err
+	}
+	axpyInto(st.xt, x, dt/2, st.k2)
+	if err := s.FieldInto(st.k3, st.xt); err != nil {
+		return err
+	}
+	axpyInto(st.xt, x, dt, st.k3)
+	if err := s.FieldInto(st.k4, st.xt); err != nil {
+		return err
+	}
+	for i := range x {
+		x[i] += dt / 6 * (st.k1[i] + 2*st.k2[i] + 2*st.k3[i] + st.k4[i])
+		if x[i] < 0 {
+			x[i] = 0
+		}
+	}
+	return nil
+}
+
+// StepDoubling advances x in place by two half steps of size dt/2 and
+// returns the classical step-doubling local error estimate: the largest
+// relative discrepancy against a single full-dt step. The two-half-step
+// result (one order more accurate) is the one committed to x. The hybrid
+// backend's fluid regime controls its step size — and its decision to stay
+// in the fluid regime at all — against this estimate; Integrate's fixed-dt
+// trajectories are untouched.
+func (st *Stepper) StepDoubling(x []float64, dt float64) (errRel float64, err error) {
+	if dt <= 0 {
+		return 0, ErrBadStep
+	}
+	copy(st.xa, x) // full step
+	if err := st.Step(st.xa, dt); err != nil {
+		return 0, err
+	}
+	copy(st.xb, x) // two half steps
+	if err := st.Step(st.xb, dt/2); err != nil {
+		return 0, err
+	}
+	if err := st.Step(st.xb, dt/2); err != nil {
+		return 0, err
+	}
+	for i := range x {
+		d := math.Abs(st.xa[i] - st.xb[i])
+		scale := math.Abs(st.xb[i])
+		if scale < 1 {
+			scale = 1
+		}
+		if r := d / scale; r > errRel {
+			errRel = r
+		}
+		x[i] = st.xb[i]
+	}
+	return errRel, nil
 }
 
 // Integrate advances the ODE from x0 with classical RK4 at fixed step dt
@@ -127,6 +239,7 @@ func (s *System) Integrate(x0 []float64, dt float64, steps, every int) ([]Point,
 	}
 	x := make([]float64, s.dim)
 	copy(x, x0)
+	st := s.NewStepper()
 	var out []Point
 	record := func(t float64) {
 		cp := make([]float64, s.dim)
@@ -139,27 +252,8 @@ func (s *System) Integrate(x0 []float64, dt float64, steps, every int) ([]Point,
 	}
 	record(0)
 	for step := 1; step <= steps; step++ {
-		k1, err := s.Field(x)
-		if err != nil {
+		if err := st.Step(x, dt); err != nil {
 			return nil, err
-		}
-		k2, err := s.Field(axpy(x, dt/2, k1))
-		if err != nil {
-			return nil, err
-		}
-		k3, err := s.Field(axpy(x, dt/2, k2))
-		if err != nil {
-			return nil, err
-		}
-		k4, err := s.Field(axpy(x, dt, k3))
-		if err != nil {
-			return nil, err
-		}
-		for i := range x {
-			x[i] += dt / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
-			if x[i] < 0 {
-				x[i] = 0
-			}
 		}
 		if step%every == 0 || step == steps {
 			record(float64(step) * dt)
@@ -168,11 +262,9 @@ func (s *System) Integrate(x0 []float64, dt float64, steps, every int) ([]Point,
 	return out, nil
 }
 
-// axpy returns x + a·y without mutating inputs.
-func axpy(x []float64, a float64, y []float64) []float64 {
-	out := make([]float64, len(x))
+// axpyInto computes dst = x + a·y without allocating. dst may alias x.
+func axpyInto(dst, x []float64, a float64, y []float64) {
 	for i := range x {
-		out[i] = x[i] + a*y[i]
+		dst[i] = x[i] + a*y[i]
 	}
-	return out
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package fluid
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation gate skips under -race, whose instrumentation allocates on
+// paths that are allocation-free in a plain build.
+const raceEnabled = false

@@ -1,0 +1,56 @@
+package hybrid
+
+import (
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// Trace event names emitted on the shared "hybrid" track: one instant per
+// committed leap (arg = events batched) and one per regime switch (arg =
+// the new Regime). The track's ring is mutex-guarded, so concurrent
+// replicas share it safely.
+const (
+	instLeap   = "hybrid.leap"
+	instSwitch = "hybrid.switch"
+)
+
+// metrics holds the backend's telemetry and trace handles. The zero value
+// (telemetry and tracing disabled) makes every operation a nil-check no-op,
+// the same contract as the kernel's handles.
+type metrics struct {
+	exactEvents telemetry.Count
+	leapEvents  telemetry.Count
+	leaps       telemetry.Count
+	leapRejects telemetry.Count
+	switches    telemetry.Count
+	fluidSteps  telemetry.Count
+	tr          *trace.Buf
+}
+
+// grabMetrics binds counter shards from the default registry and a ring
+// from the default tracer, or returns the zero (no-op) set when disabled.
+// Called once per Swarm construction — off the hot path. Counter updates
+// are unbatched: leaps, switches, and fluid steps are orders of magnitude
+// rarer than kernel events (whose own counter the embedded exact kernel
+// batches as usual), and the bulk exact-event adds happen once per regime
+// segment.
+func grabMetrics() metrics {
+	m := metrics{tr: trace.Default().Track("hybrid")}
+	reg := telemetry.Default()
+	if reg == nil {
+		return m
+	}
+	m.exactEvents = reg.Counter(telemetry.HybridExactEvents).Grab()
+	m.leapEvents = reg.Counter(telemetry.HybridLeapEvents).Grab()
+	m.leaps = reg.Counter(telemetry.HybridLeaps).Grab()
+	m.leapRejects = reg.Counter(telemetry.HybridLeapRejects).Grab()
+	m.switches = reg.Counter(telemetry.HybridSwitches).Grab()
+	m.fluidSteps = reg.Counter(telemetry.HybridFluidSteps).Grab()
+	return m
+}
+
+// instant writes a point event to the hybrid trace track (no-op when
+// tracing is disabled).
+func (m *metrics) instant(name string, arg int64) {
+	m.tr.Instant(name, "hybrid", arg)
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/kernel"
 	"repro/internal/model"
@@ -175,7 +176,18 @@ func New(p model.Params, opts ...Option) (*Swarm, error) {
 	}
 	s.arrivalPicker = picker
 	s.lambdaTotal = picker.Total()
-	for c, count := range cfg.initial {
+	// Insert initial peers in ascending type order: the Fenwick multiset
+	// assigns slots in insertion order, so iterating the map directly would
+	// make the slot layout — and with it the realization a seed produces —
+	// vary run to run. The hybrid backend rebuilds exact swarms from
+	// multi-type snapshots mid-run and relies on this being deterministic.
+	initialTypes := make([]pieceset.Set, 0, len(cfg.initial))
+	for c := range cfg.initial {
+		initialTypes = append(initialTypes, c)
+	}
+	sort.Slice(initialTypes, func(i, j int) bool { return initialTypes[i] < initialTypes[j] })
+	for _, c := range initialTypes {
+		count := cfg.initial[c]
 		if count < 0 || !c.SubsetOf(s.full) {
 			return nil, fmt.Errorf("sim: invalid initial peers %v x %d", c, count)
 		}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/hybrid"
 	"repro/internal/rng"
 	"repro/internal/stability"
 )
@@ -74,6 +75,76 @@ func (e *Empirical) replicas() int {
 		return 3
 	}
 	return e.Replicas
+}
+
+// Hybrid classifies points by Monte-Carlo sample paths on the adaptive
+// multi-regime backend (core.ClassifyHybrid): the same grows/bounded
+// verdicts as Empirical, at a fraction of the cost once populations are
+// large. Points with an active scenario are rejected — tau-leaping
+// aggregates the stationary rates.
+type Hybrid struct {
+	// Horizon is the simulated time per replica (required).
+	Horizon float64
+	// PeerCap stops a replica early when the population reaches it
+	// (required); hitting it marks the replica as growing.
+	PeerCap int
+	// Replicas is the number of sample paths per cell (default 3).
+	Replicas int
+	// Config tunes the regime thresholds (zero value = defaults).
+	Config hybrid.Config
+}
+
+// Name implements Evaluator.
+func (e *Hybrid) Name() string { return "hybrid" }
+
+// Fingerprint implements Evaluator: the regime thresholds are part of the
+// cache identity — cells leaped under one band must never satisfy a sweep
+// asking for another.
+func (e *Hybrid) Fingerprint() string {
+	return fmt.Sprintf("h=%s;cap=%d;rep=%d;%s", fnum(e.Horizon), e.PeerCap, e.replicas(), e.Config.Fingerprint())
+}
+
+func (e *Hybrid) replicas() int {
+	if e.Replicas <= 0 {
+		return 3
+	}
+	return e.Replicas
+}
+
+// Evaluate implements Evaluator.
+func (e *Hybrid) Evaluate(ctx context.Context, pt Point, r *rng.RNG) (Cell, error) {
+	if pt.Scenario.Active() {
+		return Cell{}, hybrid.ErrScenario
+	}
+	sys, err := core.NewSystem(pt.Params)
+	if err != nil {
+		return Cell{}, err
+	}
+	seed := r.Uint64()
+	if seed == 0 {
+		seed = 1
+	}
+	emp, err := sys.ClassifyHybrid(core.RunConfig{
+		Horizon:  e.Horizon,
+		PeerCap:  e.PeerCap,
+		Replicas: e.replicas(),
+		Seed:     seed,
+		Workers:  1,
+		Context:  ctx,
+	}, e.Config)
+	if err != nil {
+		return Cell{}, err
+	}
+	cell := Cell{Class: emp.Label()}
+	cell.SetFinite("grow_fraction", emp.GrowFraction)
+	cell.SetFinite("final_n", emp.MeanFinalN)
+	cell.SetFinite("occupancy", emp.MeanOccupancy)
+	if emp.Grew {
+		cell.Value = emp.MeanFinalN
+	} else if !math.IsNaN(emp.MeanOccupancy) {
+		cell.Value = emp.MeanOccupancy
+	}
+	return cell, nil
 }
 
 // Evaluate implements Evaluator.

@@ -71,6 +71,18 @@ const (
 	ObsObservers = "obs_observers_total"
 	ObsSnapshots = "obs_snapshots_total"
 
+	// Hybrid counters mirror hybrid.Stats cumulatively across replicas:
+	// events fired per regime, tau-leap steps taken/rejected, regime
+	// switches, and fluid ODE steps. hybrid_exact_events_total counts the
+	// events the embedded exact kernel ran (also included in
+	// kernel_events_total, which the inner kernel reports itself).
+	HybridExactEvents = "hybrid_exact_events_total"
+	HybridLeapEvents  = "hybrid_leap_events_total"
+	HybridLeaps       = "hybrid_leaps_total"
+	HybridLeapRejects = "hybrid_leap_rejects_total"
+	HybridSwitches    = "hybrid_switches_total"
+	HybridFluidSteps  = "hybrid_fluid_steps_total"
+
 	// ProgressDone / ProgressTotal are gauges mirroring the most recent
 	// heartbeat observation, so /vars shows live completion.
 	ProgressDone  = "progress_done"
