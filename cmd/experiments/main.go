@@ -10,6 +10,7 @@
 //	experiments -id E1,E7        # selected experiments only
 //	experiments -parallel 1      # serial replicas (same tables, slower)
 //	experiments -jsonl out.jsonl # structured per-replica records
+//	experiments -store out.store # same records, columnar (cmd/results queries)
 //	experiments -id E15 -flash-peak 10 -churn 1  # scenario-layer knobs
 //	experiments -v -metrics-addr :9090 -report run.json  # heartbeat, live
 //	           # /metrics + pprof, end-of-run telemetry report
@@ -47,6 +48,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		seed     = fs.Uint64("seed", 1, "base RNG seed")
 		parallel  = fs.Int("parallel", engine.DefaultWorkers(), "engine worker pool size (1 = serial)")
 		jsonl     = fs.String("jsonl", "", "write per-replica engine records to this JSONL file")
+		storeF    = fs.String("store", "", "write per-replica engine records to this columnar result store (query with cmd/results)")
 		flashPeak = fs.Float64("flash-peak", 0, "E15: flash-crowd peak arrival multiplier (0 = default)")
 		churn     = fs.Float64("churn", 0, "E15: per-downloader abandonment rate δ (0 = default)")
 		verbose   = fs.Bool("v", false, "print a throttled replica-progress heartbeat to stderr")
@@ -88,15 +90,33 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			selected = append(selected, e)
 		}
 	}
-	// Open the sink only after the id list validates, so a typo'd -id does
+	// Open the sinks only after the id list validates, so a typo'd -id does
 	// not truncate an existing results file.
+	var sinks []engine.Sink
 	if *jsonl != "" {
 		f, err := os.Create(*jsonl)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		cfg.Sink = engine.NewJSONLSink(f)
+		sinks = append(sinks, engine.NewJSONLSink(f))
+	}
+	var storeSink *engine.StoreSink
+	if *storeF != "" {
+		ss, err := engine.CreateStoreSink(*storeF)
+		if err != nil {
+			return err
+		}
+		storeSink = ss
+		defer storeSink.Close() // error-path cleanup; the success path checks Close below
+		sinks = append(sinks, ss)
+	}
+	switch len(sinks) {
+	case 0:
+	case 1:
+		cfg.Sink = sinks[0]
+	default:
+		cfg.Sink = engine.Tee(sinks...)
 	}
 	for _, e := range selected {
 		if err := ctx.Err(); err != nil {
@@ -110,6 +130,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fmt.Fprintf(out, "reproduces: %s\n", e.Artifact)
 		fmt.Fprint(out, table.Render())
 		fmt.Fprintf(out, "elapsed: %s\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	// A store flush failure (full disk) must fail the run, not silently
+	// truncate the file the CI diffs depend on.
+	if storeSink != nil {
+		if err := storeSink.Close(); err != nil {
+			return err
+		}
 	}
 	return tel.Finish()
 }

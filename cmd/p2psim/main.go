@@ -2,10 +2,11 @@
 // through the parallel Monte-Carlo engine and the streaming observation
 // pipeline: a decimated trace of the population / peer seeds / one-club /
 // missing-piece trajectory (-traj, on by default), streaming P²
-// population quantiles (-quantiles), per-replica structured JSONL records
-// (-jsonl), and summary statistics alongside the Theorem 1 verdict for the
-// same parameters. Output is byte-identical for any -parallel value at a
-// fixed seed.
+// population quantiles (-quantiles), per-replica structured records as
+// JSONL (-jsonl) and/or the columnar result store (-store, query with
+// cmd/results), and summary statistics alongside the Theorem 1 verdict
+// for the same parameters. Output is byte-identical for any -parallel
+// value at a fixed seed.
 //
 // Examples:
 //
@@ -70,6 +71,7 @@ func run(args []string, out io.Writer) error {
 		traj      = fs.Bool("traj", true, "attach trajectory observers and print the decimated trajectory table")
 		quantiles = fs.Bool("quantiles", false, "stream P² population quantiles and print them")
 		jsonl     = fs.String("jsonl", "", "write per-replica structured records (series, marks, scalars) to this JSONL file")
+		storeF    = fs.String("store", "", "write per-replica structured records to this columnar result store (query with cmd/results)")
 		csvOut    = fs.Bool("csv", false, "emit the trace as CSV instead of a table")
 		verbose   = fs.Bool("v", false, "print a throttled replica-progress heartbeat to stderr")
 		arrivals  cli.ArrivalFlags
@@ -159,20 +161,44 @@ func run(args []string, out io.Writer) error {
 		job.Progress = hb.Observe
 		defer hb.Finish()
 	}
-	var sinkFile *os.File
+	var (
+		sinkFile  *os.File
+		storeSink *engine.StoreSink
+		sinks     []engine.Sink
+	)
 	if *jsonl != "" {
 		f, err := os.Create(*jsonl)
 		if err != nil {
 			return err
 		}
 		sinkFile = f
-		job.Sink = engine.NewJSONLSink(f)
+		sinks = append(sinks, engine.NewJSONLSink(f))
+	}
+	if *storeF != "" {
+		ss, err := engine.CreateStoreSink(*storeF)
+		if err != nil {
+			return err
+		}
+		storeSink = ss
+		sinks = append(sinks, ss)
+	}
+	switch len(sinks) {
+	case 0:
+	case 1:
+		job.Sink = sinks[0]
+	default:
+		job.Sink = engine.Tee(sinks...)
 	}
 	res, err := engine.Run(nil, job)
+	// Close explicitly: a flush failure (full disk) must fail the run,
+	// not silently truncate the record file the CI diffs depend on.
 	if sinkFile != nil {
-		// Close explicitly: a flush failure (full disk) must fail the run,
-		// not silently truncate the record file the CI diffs depend on.
 		if cerr := sinkFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if storeSink != nil {
+		if cerr := storeSink.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
 	}

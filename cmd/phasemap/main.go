@@ -15,6 +15,7 @@
 //	    -eval sim -lambda0 3                  # scenario diagram (needs -eval sim)
 //	phasemap -format csv -o map.csv           # machine-readable raster
 //	phasemap -cache cells.jsonl -v            # spill cells, live progress
+//	phasemap -store cells.store -v            # columnar spill; resumes even a torn file
 //	phasemap -eval sim -metrics-addr :9090 -report run.json  # live /metrics
 //	         # (cache hit rate, events/sec) + end-of-run telemetry report
 package main
@@ -92,6 +93,7 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		format   = fs.String("format", "ascii", `output format: "ascii", "csv", or "jsonl"`)
 		outFile  = fs.String("o", "", "write the map to this file instead of stdout")
 		cacheF   = fs.String("cache", "", "JSONL cell cache: resume from it and spill new cells to it")
+		storeF   = fs.String("store", "", "columnar cell cache (.store): resume from it — even a torn one — and spill new cells to it")
 		verbose  = fs.Bool("v", false, "report per-round refined-cell progress on stderr (throttled heartbeat)")
 		tel      cli.Telemetry
 	)
@@ -185,6 +187,9 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		return fmt.Errorf("unknown -eval %q (want theory, sim, or hybrid)", *eval)
 	}
 
+	if *cacheF != "" && *storeF != "" {
+		return fmt.Errorf("-cache and -store are mutually exclusive (one spill target per run)")
+	}
 	runner := &sweep.Runner{Evaluator: evaluator, Workers: *parallel}
 	var journal *os.File
 	if *cacheF != "" {
@@ -197,6 +202,20 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		runner.Cache = cache
 		if *verbose && loaded > 0 {
 			fmt.Fprintf(errw, "phasemap: resumed %d cells from %s\n", loaded, *cacheF)
+		}
+	}
+	var cellStore *sweep.CellStore
+	if *storeF != "" {
+		cache := sweep.NewCache()
+		cs, loaded, err := sweep.OpenCellStore(*storeF, cache)
+		if err != nil {
+			return err
+		}
+		cellStore = cs
+		defer cellStore.Close() // error-path cleanup; the success path checks Close below
+		runner.Cache = cache
+		if *verbose && loaded > 0 {
+			fmt.Fprintf(errw, "phasemap: resumed %d cells from %s\n", loaded, *storeF)
 		}
 	}
 	if *verbose {
@@ -246,6 +265,11 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	}
 	if journal != nil {
 		if err := journal.Close(); err != nil {
+			return err
+		}
+	}
+	if cellStore != nil {
+		if err := cellStore.Close(); err != nil {
 			return err
 		}
 	}

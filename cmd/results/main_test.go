@@ -1,0 +1,232 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/rng"
+	"repro/internal/store"
+)
+
+// writeRecordStore runs a small engine job into both sinks and returns
+// the store path and the JSONL bytes the run wrote directly.
+func writeRecordStore(t *testing.T, dir string) (string, []byte) {
+	t.Helper()
+	path := filepath.Join(dir, "records.store")
+	ss, err := engine.CreateStoreSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jsonl bytes.Buffer
+	_, err = engine.Run(context.Background(), engine.Job{
+		Name: "cli", Replicas: 10, Seed: 7, Workers: 2,
+		Sink: engine.Tee(engine.NewJSONLSink(&jsonl), ss),
+		Backend: engine.Func{Label: "cli", Fn: func(ctx context.Context, rep int, r *rng.RNG) (engine.Sample, error) {
+			return engine.Sample{"x": r.Float64(), "n": float64(rep)}, nil
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, jsonl.Bytes()
+}
+
+// writeGenericStore writes a small store with a schema no subsystem owns.
+func writeGenericStore(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "generic.store")
+	w, err := store.Create(path, store.Schema{
+		App: "test/1",
+		Cols: []store.Column{
+			{Name: "group", Type: store.String},
+			{Name: "i", Type: store.Int64},
+			{Name: "v", Type: store.Float64},
+		},
+	}, store.WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		g := "even"
+		if i%2 == 1 {
+			g = "odd"
+		}
+		row := []store.Value{store.S(g), store.I(int64(i)), store.F(float64(i) * 1.5)}
+		if err := w.Append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func results(t *testing.T, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("results %v: %v", args, err)
+	}
+	return out.String()
+}
+
+func TestLs(t *testing.T) {
+	path, _ := writeRecordStore(t, t.TempDir())
+	out := results(t, "ls", path)
+	for _, want := range []string{"app=" + engine.RecordStoreApp, "v1.0", "clean", "kind:str", "v:f64"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ls output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCatPaging(t *testing.T) {
+	path := writeGenericStore(t, t.TempDir())
+	out := results(t, "cat", "-offset", "3", "-limit", "2", path)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 rows
+		t.Fatalf("cat printed %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "group\ti\tv" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "odd\t3\t4.5" || lines[2] != "even\t4\t6" {
+		t.Errorf("rows = %q, %q", lines[1], lines[2])
+	}
+}
+
+func TestFilter(t *testing.T) {
+	path := writeGenericStore(t, t.TempDir())
+	out := results(t, "filter", "-where", "group=odd", "-where", "v>=6", path)
+	// odd rows with v >= 6: i = 5, 7, 9.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("filter printed %d lines:\n%s", len(lines), out)
+	}
+	for _, row := range lines[1:] {
+		if !strings.HasPrefix(row, "odd\t") {
+			t.Errorf("non-odd row %q", row)
+		}
+	}
+	if lines[1] != "odd\t5\t7.5" {
+		t.Errorf("first match = %q", lines[1])
+	}
+	out = results(t, "filter", "-where", "i!=0", "-limit", "2", path)
+	if n := strings.Count(out, "\n"); n != 3 {
+		t.Errorf("-limit 2 printed %d lines", n)
+	}
+}
+
+func TestFilterBadPredicate(t *testing.T) {
+	path := writeGenericStore(t, t.TempDir())
+	var out bytes.Buffer
+	if err := run([]string{"filter", "-where", "nope=1", path}, &out); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if err := run([]string{"filter", "-where", "group<oops", path}, &out); err == nil {
+		t.Error("ordered comparison on string column accepted")
+	}
+}
+
+func TestAgg(t *testing.T) {
+	path := writeGenericStore(t, t.TempDir())
+	out := results(t, "agg", "-col", "v", "-by", "group", path)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("agg printed %d lines:\n%s", len(lines), out)
+	}
+	// even rows: v = 0, 3, 6, 9, 12 → mean 6; odd rows: 1.5 ... 13.5 → mean 7.5
+	if !strings.HasPrefix(lines[1], "even\t5\t6\t") {
+		t.Errorf("even group = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "odd\t5\t7.5\t") {
+		t.Errorf("odd group = %q", lines[2])
+	}
+}
+
+// TestExportRecordsByteIdentical pins the headline export property: a
+// record store exports exactly the JSONL the run wrote directly.
+func TestExportRecordsByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	path, jsonl := writeRecordStore(t, dir)
+	out := results(t, "export", path)
+	if !bytes.Equal([]byte(out), jsonl) {
+		t.Errorf("export differs from the run's own JSONL:\n%s\nvs\n%s", out, jsonl)
+	}
+	// And through -o FILE.
+	of := filepath.Join(dir, "out.jsonl")
+	results(t, "export", "-o", of, path)
+	data, err := os.ReadFile(of)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, jsonl) {
+		t.Error("-o export differs from stdout export")
+	}
+}
+
+func TestExportGenericFormats(t *testing.T) {
+	path := writeGenericStore(t, t.TempDir())
+	jsonl := results(t, "export", path)
+	if !strings.HasPrefix(jsonl, `{"group":"even","i":0,"v":0}`) {
+		t.Errorf("generic jsonl starts %q", jsonl[:40])
+	}
+	csv := results(t, "export", "-format", "csv", path)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "group,i,v" || len(lines) != 11 {
+		t.Errorf("csv = %q...", lines[0])
+	}
+	if lines[2] != "odd,1,1.5" {
+		t.Errorf("csv row = %q", lines[2])
+	}
+}
+
+// TestTornFile: strict subcommands refuse a torn store with a -recover
+// hint; -recover salvages the committed prefix; ls never fails.
+func TestTornFile(t *testing.T) {
+	dir := t.TempDir()
+	path := writeGenericStore(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, "torn.store")
+	if err := os.WriteFile(torn, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err = run([]string{"cat", torn}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-recover") {
+		t.Errorf("strict cat on torn file: %v", err)
+	}
+	rec := results(t, "cat", "-recover", "-limit", "0", torn)
+	if n := strings.Count(rec, "\n"); n != 11 { // footer torn off, all 10 data rows committed
+		t.Errorf("recovered cat printed %d lines:\n%s", n, rec)
+	}
+	ls := results(t, "ls", torn)
+	if !strings.Contains(ls, "torn") {
+		t.Errorf("ls does not flag the torn file: %s", ls)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("no subcommand accepted")
+	}
+	if err := run([]string{"frobnicate"}, &out); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"agg", "-by", "g", "nope.store"}, &out); err == nil {
+		t.Error("agg without -col accepted")
+	}
+}

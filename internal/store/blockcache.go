@@ -1,0 +1,194 @@
+package store
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+)
+
+// decodedBlock is one block's column pages decoded into flat arrays:
+// 8-byte words for the fixed columns, a dictionary plus 4-byte indexes
+// for string columns. Blocks are immutable once decoded.
+type decodedBlock struct {
+	rows uint32
+	cols []decodedCol
+}
+
+type decodedCol struct {
+	typ   Type
+	words []uint64 // float bits / int64 bits; nil for string columns
+	dict  []string
+	idx   []uint32
+}
+
+// value returns the cell at row off of column c. Bounds were validated at
+// decode time.
+func (b *decodedBlock) value(c int, off uint32) Value {
+	col := &b.cols[c]
+	switch col.typ {
+	case Float64:
+		return Value{t: Float64, f: math.Float64frombits(col.words[off])}
+	case Int64:
+		return Value{t: Int64, i: int64(col.words[off])}
+	default:
+		return Value{t: String, s: col.dict[col.idx[off]]}
+	}
+}
+
+// decodeBlock reads and fully validates one committed block. Every length
+// is checked against the bytes present before any dependent allocation,
+// and string dictionary indexes are range-checked, so corrupt blocks
+// yield ErrCorrupt/ErrTruncated rather than panics or unbounded
+// allocation (allocations never exceed the block's own byte length).
+func (r *Reader) decodeBlock(be blockEntry) (*decodedBlock, error) {
+	headLen := int64(len(blockTag)) + 4
+	if be.Len < headLen+8 || be.Off < 0 || be.Off+be.Len > r.size {
+		return nil, fmt.Errorf("%w: block at %d out of bounds", ErrCorrupt, be.Off)
+	}
+	framed := make([]byte, be.Len)
+	if err := r.readAt(framed, be.Off); err != nil {
+		return nil, err
+	}
+	if string(framed[:len(blockTag)]) != blockTag {
+		return nil, fmt.Errorf("%w: block at %d: bad tag", ErrCorrupt, be.Off)
+	}
+	payloadLen := int64(readU32(framed[len(blockTag):]))
+	if headLen+payloadLen+4 != be.Len {
+		return nil, fmt.Errorf("%w: block at %d: length mismatch", ErrCorrupt, be.Off)
+	}
+	payload := framed[headLen : headLen+payloadLen]
+	if checksum(payload) != readU32(framed[headLen+payloadLen:]) {
+		return nil, fmt.Errorf("%w: block at %d: payload checksum mismatch", ErrCorrupt, be.Off)
+	}
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("%w: block at %d: short payload", ErrCorrupt, be.Off)
+	}
+	rows := readU32(payload)
+	if rows != be.Rows {
+		return nil, fmt.Errorf("%w: block at %d: row count mismatch", ErrCorrupt, be.Off)
+	}
+	b := &decodedBlock{rows: rows, cols: make([]decodedCol, len(r.schema.Cols))}
+	p := payload[4:]
+	for c, col := range r.schema.Cols {
+		if len(p) < 4 {
+			return nil, fmt.Errorf("%w: block at %d: missing page for column %q", ErrTruncated, be.Off, col.Name)
+		}
+		pageLen := int64(readU32(p))
+		if pageLen+8 > int64(len(p)) {
+			return nil, fmt.Errorf("%w: block at %d: page length %d for column %q exceeds block", ErrCorrupt, be.Off, pageLen, col.Name)
+		}
+		page := p[4 : 4+pageLen]
+		if checksum(page) != readU32(p[4+pageLen:]) {
+			return nil, fmt.Errorf("%w: block at %d: page checksum mismatch (column %q)", ErrCorrupt, be.Off, col.Name)
+		}
+		dc, err := decodePage(col.Type, page, rows)
+		if err != nil {
+			return nil, fmt.Errorf("%w: block at %d, column %q: %v", ErrCorrupt, be.Off, col.Name, err)
+		}
+		b.cols[c] = dc
+		p = p[4+pageLen+4:]
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: block at %d: %d trailing payload bytes", ErrCorrupt, be.Off, len(p))
+	}
+	return b, nil
+}
+
+// decodePage decodes one column page. Errors are bare (the caller wraps
+// ErrCorrupt plus context).
+func decodePage(t Type, page []byte, rows uint32) (decodedCol, error) {
+	dc := decodedCol{typ: t}
+	switch t {
+	case Float64, Int64:
+		if int64(len(page)) != int64(rows)*8 {
+			return dc, fmt.Errorf("fixed page %d bytes, want %d", len(page), int64(rows)*8)
+		}
+		dc.words = make([]uint64, rows)
+		for i := range dc.words {
+			dc.words[i] = readU64(page[i*8:])
+		}
+	case String:
+		if len(page) < 4 {
+			return dc, fmt.Errorf("string page too short")
+		}
+		dictN := readU32(page)
+		p := page[4:]
+		// Each dictionary entry needs ≥4 bytes, so dictN is bounded by the
+		// page itself before the entry slice is allocated.
+		if int64(dictN)*4 > int64(len(p)) {
+			return dc, fmt.Errorf("dictionary count %d exceeds page", dictN)
+		}
+		dc.dict = make([]string, dictN)
+		for i := range dc.dict {
+			if len(p) < 4 {
+				return dc, fmt.Errorf("dictionary entry %d truncated", i)
+			}
+			n := int64(readU32(p))
+			if n+4 > int64(len(p)) {
+				return dc, fmt.Errorf("dictionary entry %d length %d exceeds page", i, n)
+			}
+			dc.dict[i] = string(p[4 : 4+n])
+			p = p[4+n:]
+		}
+		if int64(len(p)) != int64(rows)*4 {
+			return dc, fmt.Errorf("index section %d bytes, want %d", len(p), int64(rows)*4)
+		}
+		dc.idx = make([]uint32, rows)
+		for i := range dc.idx {
+			v := readU32(p[i*4:])
+			if v >= dictN {
+				return dc, fmt.Errorf("row %d dictionary index %d out of range %d", i, v, dictN)
+			}
+			dc.idx[i] = v
+		}
+	default:
+		return dc, fmt.Errorf("unknown column type %d", t)
+	}
+	return dc, nil
+}
+
+// blockCache is a small LRU of decoded blocks keyed by block index: the
+// bound that keeps huge files readable in constant memory.
+type blockCache struct {
+	cap   int
+	items map[int]*list.Element
+	order *list.List // front = most recent
+}
+
+type cacheEntry struct {
+	key   int
+	block *decodedBlock
+}
+
+func newBlockCache(capacity int) *blockCache {
+	return &blockCache{cap: capacity, items: make(map[int]*list.Element, capacity), order: list.New()}
+}
+
+// get returns the cached block or nil, refreshing recency.
+func (c *blockCache) get(key int) *decodedBlock {
+	el, ok := c.items[key]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).block
+}
+
+// put inserts a block, evicting the least recently used past capacity.
+func (c *blockCache) put(key int, b *decodedBlock) {
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).block = b
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, block: b})
+	for len(c.items) > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of resident decoded blocks (test hook for the
+// bounded-memory contract).
+func (c *blockCache) len() int { return len(c.items) }

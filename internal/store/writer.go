@@ -1,0 +1,382 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+// WriterOptions tunes a Writer. The zero value is usable.
+type WriterOptions struct {
+	// BlockRows is the number of buffered rows per committed block
+	// (default DefaultBlockRows). Smaller blocks commit sooner (finer
+	// crash-recovery granularity) at more framing overhead per row.
+	BlockRows int
+}
+
+func (o WriterOptions) blockRows() int {
+	if o.BlockRows <= 0 {
+		return DefaultBlockRows
+	}
+	return o.BlockRows
+}
+
+// colBuf buffers one column's pending page. All three types pack into
+// uint64 words (float bits, int64 bits, dictionary index), so the append
+// path allocates only on dictionary growth.
+type colBuf struct {
+	typ   Type
+	words []uint64
+	dict  map[string]uint32
+	keys  []string // dictionary values in first-appearance order
+}
+
+// Writer streams rows into a store file: rows buffer in column order and
+// commit as CRC-guarded blocks every BlockRows (or on Flush), and Close
+// appends the footer manifest. A Writer is not safe for concurrent use.
+//
+// Writers are deterministic: the bytes produced are a pure function of the
+// schema, options, and appended rows (no timestamps, no map-order
+// dependence), which is what lets CI pin store files byte-for-byte across
+// worker counts.
+type Writer struct {
+	w      io.Writer
+	f      *os.File // non-nil when the writer owns the file (Create/OpenAppend)
+	schema Schema
+
+	blockRows int
+	cols      []colBuf
+	bufRows   int
+
+	off    int64 // bytes committed so far (next block's tag offset)
+	rows   int64 // rows committed to blocks
+	blocks []blockEntry
+
+	scratch []byte
+	closed  bool
+
+	pagesW *telemetry.Counter
+	bytesW *telemetry.Counter
+}
+
+// NewWriter starts a new store on w by writing the header immediately.
+// The caller keeps ownership of w; Close writes the footer but does not
+// close w.
+func NewWriter(w io.Writer, schema Schema, opt WriterOptions) (*Writer, error) {
+	if err := schema.validate(); err != nil {
+		return nil, err
+	}
+	hdr, err := encodeHeader(schema)
+	if err != nil {
+		return nil, err
+	}
+	sw := newWriterState(w, schema, opt)
+	if _, err := w.Write(hdr); err != nil {
+		return nil, fmt.Errorf("store: write header: %w", err)
+	}
+	sw.countWrite(len(hdr), 0)
+	sw.off = int64(len(hdr))
+	return sw, nil
+}
+
+// Create starts a new store file at path (truncating any existing file).
+// Close closes the file.
+func Create(path string, schema Schema, opt WriterOptions) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: create: %w", err)
+	}
+	w, err := NewWriter(f, schema, opt)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.f = f
+	return w, nil
+}
+
+// OpenAppend opens path for appending rows: a missing or empty file is
+// created fresh; an existing file is recovered (every fully committed
+// block is kept, a torn tail and any old footer are truncated away) and
+// the writer continues after the last committed block. A file torn
+// inside the header — a crash during creation, recognizable because the
+// header bytes for a schema are deterministic — is restarted fresh; no
+// row can have committed before the header. The returned Reader,
+// non-nil only when prior rows were recovered, reads those rows; it
+// shares the writer's file handle, so close only the Writer. The
+// file's schema must Equal the given one (ErrSchema otherwise), and its
+// major version must be current (ErrVersion).
+func OpenAppend(path string, schema Schema, opt WriterOptions) (*Writer, *Reader, error) {
+	if err := schema.validate(); err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: open append: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: open append: %w", err)
+	}
+	if size := st.Size(); size > 0 {
+		if hdr, err := encodeHeader(schema); err == nil && size < int64(len(hdr)) {
+			got := make([]byte, size)
+			if _, err := f.ReadAt(got, 0); err == nil && bytes.Equal(got, hdr[:size]) {
+				if err := f.Truncate(0); err != nil {
+					f.Close()
+					return nil, nil, fmt.Errorf("store: open append: truncate torn header: %w", err)
+				}
+				if _, err := f.Seek(0, io.SeekStart); err != nil {
+					f.Close()
+					return nil, nil, fmt.Errorf("store: open append: %w", err)
+				}
+				st, err = f.Stat()
+				if err != nil {
+					f.Close()
+					return nil, nil, fmt.Errorf("store: open append: %w", err)
+				}
+			}
+		}
+	}
+	if st.Size() == 0 {
+		w, err := NewWriter(f, schema, opt)
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		w.f = f
+		return w, nil, nil
+	}
+	r, err := NewRecoveringReader(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if !r.Schema().Equal(schema) {
+		f.Close()
+		return nil, nil, fmt.Errorf("%w: file %q has schema %v, want %v", ErrSchema, path, r.Schema().Cols, schema.Cols)
+	}
+	// Drop the torn tail (and the old footer — a new one lands at Close).
+	end := r.CommittedSize()
+	if err := f.Truncate(end); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: open append: truncate: %w", err)
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: open append: %w", err)
+	}
+	w := newWriterState(f, schema, opt)
+	w.f = f
+	w.off = end
+	w.rows = r.NumRows()
+	w.blocks = append(w.blocks, r.blocks...)
+	return w, r, nil
+}
+
+func newWriterState(w io.Writer, schema Schema, opt WriterOptions) *Writer {
+	sw := &Writer{
+		w:         w,
+		schema:    schema,
+		blockRows: opt.blockRows(),
+		cols:      make([]colBuf, len(schema.Cols)),
+	}
+	for i, c := range schema.Cols {
+		sw.cols[i].typ = c.Type
+		if c.Type == String {
+			sw.cols[i].dict = make(map[string]uint32)
+		}
+	}
+	if reg := telemetry.Default(); reg != nil {
+		sw.pagesW = reg.Counter(telemetry.StorePagesWritten)
+		sw.bytesW = reg.Counter(telemetry.StoreBytesWritten)
+	}
+	return sw
+}
+
+func (w *Writer) countWrite(n, pages int) {
+	if w.bytesW != nil {
+		w.bytesW.Add(uint64(n))
+		if pages > 0 {
+			w.pagesW.Add(uint64(pages))
+		}
+	}
+}
+
+// Schema returns the writer's schema.
+func (w *Writer) Schema() Schema { return w.schema }
+
+// NumRows returns the rows appended so far (committed plus buffered).
+func (w *Writer) NumRows() int64 { return w.rows + int64(w.bufRows) }
+
+// Append buffers one row. The row's arity and types must match the
+// schema (ErrSchema otherwise); a full buffer auto-commits a block.
+func (w *Writer) Append(row []Value) error {
+	if w.closed {
+		return fmt.Errorf("%w: append to closed writer", ErrSchema)
+	}
+	if len(row) != len(w.cols) {
+		return fmt.Errorf("%w: row has %d values, schema %d columns", ErrSchema, len(row), len(w.cols))
+	}
+	for i := range row {
+		if row[i].t != w.cols[i].typ {
+			return fmt.Errorf("%w: column %q wants %v, got %v", ErrSchema, w.schema.Cols[i].Name, w.cols[i].typ, row[i].t)
+		}
+	}
+	for i, v := range row {
+		c := &w.cols[i]
+		switch c.typ {
+		case Float64:
+			c.words = append(c.words, math.Float64bits(v.f))
+		case Int64:
+			c.words = append(c.words, uint64(v.i))
+		case String:
+			idx, ok := c.dict[v.s]
+			if !ok {
+				idx = uint32(len(c.keys))
+				c.dict[v.s] = idx
+				c.keys = append(c.keys, v.s)
+			}
+			c.words = append(c.words, uint64(idx))
+		}
+	}
+	w.bufRows++
+	if w.bufRows >= w.blockRows {
+		return w.Flush()
+	}
+	return nil
+}
+
+// Flush commits the buffered rows as one block. Once Flush returns, those
+// rows survive any subsequent crash: a reader recovers every block whose
+// trailing CRC made it to disk. A no-op when nothing is buffered.
+func (w *Writer) Flush() error {
+	if w.closed {
+		return fmt.Errorf("%w: flush on closed writer", ErrSchema)
+	}
+	if w.bufRows == 0 {
+		return nil
+	}
+	// Assemble the payload: row count, then one page per column.
+	p := w.scratch[:0]
+	p = appendU32(p, uint32(w.bufRows))
+	for i := range w.cols {
+		p = w.cols[i].appendPage(p)
+	}
+	w.scratch = p // keep the grown buffer for the next block
+
+	framed := make([]byte, 0, len(blockTag)+8+len(p))
+	framed = append(framed, blockTag...)
+	framed = appendU32(framed, uint32(len(p)))
+	framed = append(framed, p...)
+	framed = appendU32(framed, checksum(p))
+	if _, err := w.w.Write(framed); err != nil {
+		return fmt.Errorf("store: write block: %w", err)
+	}
+	w.countWrite(len(framed), len(w.cols))
+	w.blocks = append(w.blocks, blockEntry{
+		Off: w.off, Len: int64(len(framed)), Rows: uint32(w.bufRows), CRC: checksum(p),
+	})
+	w.off += int64(len(framed))
+	w.rows += int64(w.bufRows)
+	for i := range w.cols {
+		c := &w.cols[i]
+		c.words = c.words[:0]
+		if c.typ == String {
+			c.keys = c.keys[:0]
+			clear(c.dict)
+		}
+	}
+	w.bufRows = 0
+	return nil
+}
+
+// appendPage renders the column's buffered page (length-prefixed,
+// CRC-suffixed) onto p.
+func (c *colBuf) appendPage(p []byte) []byte {
+	lenAt := len(p)
+	p = appendU32(p, 0) // page length backpatched below
+	start := len(p)
+	switch c.typ {
+	case Float64, Int64:
+		for _, wd := range c.words {
+			p = appendU64(p, wd)
+		}
+	case String:
+		p = appendU32(p, uint32(len(c.keys)))
+		for _, k := range c.keys {
+			p = appendU32(p, uint32(len(k)))
+			p = append(p, k...)
+		}
+		for _, wd := range c.words {
+			p = appendU32(p, uint32(wd))
+		}
+	}
+	pageLen := uint32(len(p) - start)
+	p[lenAt] = byte(pageLen)
+	p[lenAt+1] = byte(pageLen >> 8)
+	p[lenAt+2] = byte(pageLen >> 16)
+	p[lenAt+3] = byte(pageLen >> 24)
+	return appendU32(p, checksum(p[start:]))
+}
+
+// Close commits buffered rows and writes the footer manifest; when the
+// writer owns its file (Create/OpenAppend) it also syncs and closes it.
+// The writer is unusable afterwards.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	w.closed = true
+	mani, err := encodeManifest(manifest{
+		Major:  MajorVersion,
+		Minor:  MinorVersion,
+		Rows:   w.rows,
+		Schema: w.schema.toJSON(),
+		Blocks: w.blocks,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := w.w.Write(mani); err != nil {
+		return fmt.Errorf("store: write footer: %w", err)
+	}
+	w.countWrite(len(mani), 0)
+	w.off += int64(len(mani))
+	if w.f != nil {
+		if err := w.f.Sync(); err != nil {
+			w.f.Close()
+			return fmt.Errorf("store: sync: %w", err)
+		}
+		if err := w.f.Close(); err != nil {
+			return fmt.Errorf("store: close: %w", err)
+		}
+	}
+	return nil
+}
+
+// encodeManifest frames the footer: tag, length-prefixed manifest JSON,
+// CRC, repeated length, tail magic.
+func encodeManifest(m manifest) ([]byte, error) {
+	j, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode manifest: %w", err)
+	}
+	b := make([]byte, 0, len(footerTag)+4+len(j)+4+4+len(tailMagic))
+	b = append(b, footerTag...)
+	b = appendU32(b, uint32(len(j)))
+	b = append(b, j...)
+	b = appendU32(b, checksum(j))
+	b = appendU32(b, uint32(len(j)))
+	b = append(b, tailMagic...)
+	return b, nil
+}

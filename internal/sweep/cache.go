@@ -101,9 +101,11 @@ type journalRecord struct {
 // usable; construct with NewCache. A Cache is safe for concurrent reads
 // and writes, though the Runner only writes between batches.
 type Cache struct {
-	mu      sync.Mutex
-	cells   map[string]Cell
-	journal io.Writer
+	mu    sync.Mutex
+	cells map[string]Cell
+	// spill, when non-nil, durably records each Put: the JSONL journal
+	// (AttachJournal) or the columnar cell store (CellStore.Attach).
+	spill func(key, point string, cell Cell) error
 }
 
 // NewCache returns an empty in-memory cache.
@@ -126,23 +128,17 @@ func (c *Cache) Get(key string) (Cell, bool) {
 	return cell, ok
 }
 
-// Put memoizes a cell and appends it to the journal when one is attached.
-// point is the canonical point string recorded for debuggability.
+// Put memoizes a cell and spills it when a journal or cell store is
+// attached. point is the canonical point string recorded for
+// debuggability (and as the store's secondary key).
 func (c *Cache) Put(key, point string, cell Cell) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.cells[key] = cell
-	if c.journal == nil {
+	if c.spill == nil {
 		return nil
 	}
-	b, err := json.Marshal(journalRecord{Key: key, Point: point, Cell: cell})
-	if err != nil {
-		return err
-	}
-	if _, err := c.journal.Write(append(b, '\n')); err != nil {
-		return err
-	}
-	return nil
+	return c.spill(key, point, cell)
 }
 
 // AttachJournal makes every subsequent Put append one JSON line to w, the
@@ -150,7 +146,14 @@ func (c *Cache) Put(key, point string, cell Cell) error {
 func (c *Cache) AttachJournal(w io.Writer) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.journal = w
+	c.spill = func(key, point string, cell Cell) error {
+		b, err := json.Marshal(journalRecord{Key: key, Point: point, Cell: cell})
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(append(b, '\n'))
+		return err
+	}
 }
 
 // LoadJournal replays a spill stream into the cache and returns how many

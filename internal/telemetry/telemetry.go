@@ -83,6 +83,17 @@ const (
 	HybridSwitches    = "hybrid_switches_total"
 	HybridFluidSteps  = "hybrid_fluid_steps_total"
 
+	// Store counters track the columnar result store (internal/store):
+	// column pages and framed bytes moved in each direction, blocks
+	// salvaged by scan recovery from torn files, and decoded-block cache
+	// hits on the read path.
+	StorePagesWritten    = "store_pages_written_total"
+	StorePagesRead       = "store_pages_read_total"
+	StoreBytesWritten    = "store_bytes_written_total"
+	StoreBytesRead       = "store_bytes_read_total"
+	StoreBlocksRecovered = "store_blocks_recovered_total"
+	StoreBlockCacheHits  = "store_block_cache_hits_total"
+
 	// ProgressDone / ProgressTotal are gauges mirroring the most recent
 	// heartbeat observation, so /vars shows live completion.
 	ProgressDone  = "progress_done"
